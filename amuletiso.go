@@ -1,0 +1,104 @@
+// Package amuletiso is a full reproduction, in pure Go, of
+//
+//	Hardin, Scott, Proctor, Hester, Sorber, Kotz.
+//	"Application Memory Isolation on Ultra-Low-Power MCUs."
+//	USENIX Annual Technical Conference, 2018.
+//
+// The paper's contribution — sandboxing applications on an MCU whose MPU is
+// too weak to do it alone, by combining hardware segment protection with
+// compiler-inserted bound checks — is implemented end to end on a simulated
+// MSP430FR5969-class machine:
+//
+//   - internal/isa, internal/cpu, internal/mem, internal/mpu: a
+//     cycle-counting MSP430-style CPU with the FRAM MPU's real limitations;
+//   - internal/cc: the AmuletC compiler, which emits the isolation checks;
+//   - internal/aft: the Amulet Firmware Toolchain (layout, gates, linking);
+//   - internal/kernel: the AmuletOS analogue (events, services, faults);
+//   - internal/apps, internal/arp, internal/energy: the application suite
+//     and the Amulet Resource Profiler pipeline behind the evaluation.
+//
+// This package is the public facade: build systems, run applications under
+// any of the four memory models, and regenerate every table and figure of
+// the paper's evaluation. See README.md for a tour and EXPERIMENTS.md for
+// measured-versus-published results.
+package amuletiso
+
+import (
+	"amuletiso/internal/apps"
+	"amuletiso/internal/arp"
+	"amuletiso/internal/core"
+)
+
+// Mode selects the memory-isolation model (the paper's four columns).
+type Mode = core.Mode
+
+// The four memory models.
+const (
+	// NoIsolation runs apps with no protection at all (the baseline).
+	NoIsolation = core.NoIsolation
+	// FeatureLimited is original Amulet C: no pointers or recursion, and
+	// helper-based bounds checks on array accesses.
+	FeatureLimited = core.FeatureLimited
+	// SoftwareOnly inserts lower and upper bound compares around every
+	// computed memory access.
+	SoftwareOnly = core.SoftwareOnly
+	// MPU is the paper's hybrid: hardware segments above the app, a single
+	// compiler-inserted lower-bound compare below it.
+	MPU = core.MPU
+)
+
+// Modes lists all four models in the paper's order.
+var Modes = core.Modes
+
+// App is an application: AmuletC source plus metadata.
+type App = apps.App
+
+// System is a built firmware image plus a running kernel.
+type System = core.System
+
+// NewSystem compiles the applications under the given isolation mode and
+// boots the kernel. The same list and seed always produce the same machine.
+func NewSystem(list []App, mode Mode) (*System, error) {
+	return core.NewSystem(list, mode)
+}
+
+// Suite returns the nine Amulet platform applications used in Figure 2.
+func Suite() []App { return apps.Suite() }
+
+// Benchmarks returns the Table 1 / Figure 3 benchmark applications.
+func Benchmarks() []App { return apps.Benchmarks() }
+
+// AppByName looks up any bundled application.
+func AppByName(name string) (App, bool) { return apps.ByName(name) }
+
+// Table1Result is the measured Table 1 (plus a yield-gate ablation row).
+type Table1Result = core.Table1Result
+
+// Table1 measures the two primitive isolation costs — memory access and
+// context switch — under all four models, reproducing the paper's Table 1.
+func Table1() (*Table1Result, error) { return core.Table1() }
+
+// Figure2Result is the measured Figure 2 data set.
+type Figure2Result = core.Figure2Result
+
+// Figure2 runs the ARP pipeline over the nine-app suite: weekly isolation
+// overhead in cycles and battery-lifetime impact per app and method.
+// sampleMS = 0 uses the default 20-minute wear window.
+func Figure2(sampleMS uint64) (*Figure2Result, error) { return core.Figure2(sampleMS) }
+
+// Figure3Result is the measured Figure 3 data set.
+type Figure3Result = core.Figure3Result
+
+// Figure3 measures benchmark slowdown per isolation method against the
+// NoIsolation baseline, hardware-timer timed, reproducing Figure 3.
+// iters <= 0 uses the paper's 200 iterations.
+func Figure3(iters int) (*Figure3Result, error) { return core.Figure3(iters) }
+
+// Overhead is one Figure 2 bar (weekly cycles and battery impact).
+type Overhead = arp.Overhead
+
+// MeasureApp profiles a single application under one mode and extrapolates
+// its weekly isolation overhead — the per-app ARP entry point.
+func MeasureApp(app App, mode Mode, sampleMS uint64) (*Overhead, error) {
+	return arp.Measure(app, mode, sampleMS)
+}

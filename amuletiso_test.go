@@ -1,0 +1,128 @@
+package amuletiso
+
+import (
+	"testing"
+
+	"amuletiso/internal/abi"
+)
+
+// TestSystemFacade exercises the public API end to end: build a system from
+// suite apps, run virtual wear time, observe application effects.
+func TestSystemFacade(t *testing.T) {
+	clock, _ := AppByName("clock")
+	hr, _ := AppByName("hr")
+	sys, err := NewSystem([]App{clock, hr}, MPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(5_000)
+	if sys.App(0).Dispatches == 0 || sys.App(1).Dispatches == 0 {
+		t.Fatal("apps did not run")
+	}
+	if len(sys.Kernel.Faults) != 0 {
+		t.Fatalf("unexpected faults: %v", sys.Kernel.Faults)
+	}
+}
+
+// TestTable1Shape verifies the paper's Table 1 orderings (the headline
+// claims): the MPU hybrid has the cheapest checked memory access among the
+// isolating modes but the most expensive context switch, while Feature
+// Limited pays the most per access and nothing extra at switches.
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, cs := r.MemoryAccess, r.ContextSwitch
+	if !(ma[NoIsolation] < ma[MPU] && ma[MPU] < ma[SoftwareOnly] && ma[SoftwareOnly] < ma[FeatureLimited]) {
+		t.Errorf("memory access ordering wrong: %v", ma)
+	}
+	if !(cs[NoIsolation] == cs[FeatureLimited] && cs[FeatureLimited] < cs[SoftwareOnly] && cs[SoftwareOnly] < cs[MPU]) {
+		t.Errorf("context switch ordering wrong: %v", cs)
+	}
+	// Rough factor agreement with the paper: MPU adds ~half the per-access
+	// overhead of SoftwareOnly (one compare instead of two).
+	mpuOver := ma[MPU] - ma[NoIsolation]
+	swOver := ma[SoftwareOnly] - ma[NoIsolation]
+	if !(mpuOver > 0 && swOver/mpuOver > 1.5 && swOver/mpuOver < 2.5) {
+		t.Errorf("MPU/SW per-access overhead ratio off: mpu=+%.1f sw=+%.1f", mpuOver, swOver)
+	}
+	// Context-switch factor: paper shows ~1.6x for MPU vs base.
+	f := cs[MPU] / cs[NoIsolation]
+	if f < 1.25 || f > 2.0 {
+		t.Errorf("MPU context-switch factor = %.2f, want ~1.5", f)
+	}
+}
+
+// TestFigure3Shape verifies Figure 3's claims: every isolating mode slows
+// benchmarks down, MPU least and FeatureLimited most, with quicksort (pure
+// memory traffic, no context switches) showing the widest spread.
+func TestFigure3Shape(t *testing.T) {
+	r, err := Figure3(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"Activity Case 1", "Activity Case 2", "Quicksort"} {
+		s := r.Slowdown[bench]
+		if !(s[MPU] > 0 && s[MPU] < s[SoftwareOnly] && s[SoftwareOnly] < s[FeatureLimited]) {
+			t.Errorf("%s ordering wrong: %v", bench, s)
+		}
+		if s[FeatureLimited] > 60 {
+			t.Errorf("%s slowdown %v%% outside the paper's 0-50%% range", bench, s[FeatureLimited])
+		}
+	}
+	if r.Slowdown["Quicksort"][FeatureLimited] <= r.Slowdown["Activity Case 1"][FeatureLimited] {
+		t.Error("quicksort should show the largest FeatureLimited slowdown")
+	}
+}
+
+// TestFigure2BatteryClaim verifies the paper's headline Figure 2 claim:
+// for all applications, MPU or SoftwareOnly isolation costs less than 0.5%
+// of battery lifetime.
+func TestFigure2BatteryClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling suite in -short mode")
+	}
+	r, err := Figure2(120_000) // 2-minute window keeps the test quick
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.MaxBatteryImpact(); got >= 0.5 {
+		t.Errorf("max battery impact %.3f%%, paper claims < 0.5%%", got)
+	}
+	if len(r.Overheads) != 9*3 {
+		t.Errorf("expected 27 bars, got %d", len(r.Overheads))
+	}
+}
+
+// TestIsolationStory runs the paper's security scenario through the facade:
+// a buggy app cannot reach a neighbor's state under the hybrid model.
+func TestIsolationStory(t *testing.T) {
+	evil := App{Name: "evil", Source: `
+void handle_event(int ev, int arg) {
+    if (ev == 3) {
+        int *p = 0;
+        uint a = arg;
+        p = p + (a >> 1);
+        *p = 0x0BAD;
+    }
+}
+`}
+	victim := App{Name: "victim", Source: `
+int secret = 0x5EC2;
+void handle_event(int ev, int arg) {}
+`}
+	sys, err := NewSystem([]App{evil, victim}, MPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := sys.Firmware.Image.MustSym(abi.SymGlobal("victim", "secret"))
+	sys.Kernel.Post(0, 3, secret, 1)
+	sys.RunFor(100)
+	if sys.Kernel.Bus.Peek16(secret) != 0x5EC2 {
+		t.Fatal("secret corrupted under MPU isolation")
+	}
+	if sys.App(0).Faults == 0 {
+		t.Fatal("evil app was not faulted")
+	}
+}

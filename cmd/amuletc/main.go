@@ -1,0 +1,132 @@
+// Command amuletc compiles AmuletC source with the AFT pipeline and reports
+// what the toolchain produced: the memory map, per-app analysis (stack
+// bounds, check sites, API calls), symbols and optionally a disassembly.
+//
+// Usage:
+//
+//	amuletc [-mode MPU|SoftwareOnly|FeatureLimited|NoIsolation] [-S] [-map] file.c...
+//	amuletc -app pedometer -app clock ...     (bundled suite apps)
+//
+// Each input file becomes one application named after its basename; every
+// app must export `void handle_event(int ev, int arg)`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amuletiso"
+	"amuletiso/internal/aft"
+	"amuletiso/internal/asm"
+	"amuletiso/internal/cc"
+)
+
+type appList []string
+
+func (a *appList) String() string     { return strings.Join(*a, ",") }
+func (a *appList) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	modeName := flag.String("mode", "MPU", "isolation mode: NoIsolation, FeatureLimited, SoftwareOnly, MPU")
+	dumpAsm := flag.Bool("S", false, "disassemble each app's code segment")
+	showMap := flag.Bool("map", true, "print the firmware memory map")
+	var bundled appList
+	flag.Var(&bundled, "app", "add a bundled app by name (repeatable)")
+	flag.Parse()
+
+	mode, ok := parseMode(*modeName)
+	if !ok {
+		fail(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	var sources []aft.AppSource
+	for _, name := range bundled {
+		app, ok := amuletiso.AppByName(name)
+		if !ok {
+			fail(fmt.Errorf("no bundled app %q", name))
+		}
+		sources = append(sources, app.AFT())
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		sources = append(sources, aft.AppSource{Name: name, Source: string(src)})
+	}
+	if len(sources) == 0 {
+		fmt.Fprintln(os.Stderr, "amuletc: no inputs; pass .c files or -app names")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fw, err := aft.Build(sources, mode)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("firmware: mode=%v, %d app(s), %d bytes\n", fw.Mode, len(fw.Apps), fw.Image.Size())
+	if *showMap {
+		fmt.Printf("\nmemory map (Figure 1 layout):\n")
+		fmt.Printf("  %-22s 0x4400-0x%04X  (execute-only under every plan)\n", "OS code", fw.OSPlanB1-1)
+		fmt.Printf("  %-22s 0x%04X-0x%04X  (OS plan: read-write)\n", "OS data", fw.OSPlanB1, fw.OSPlanB2-1)
+		for _, a := range fw.Apps {
+			fmt.Printf("  %-22s 0x%04X-0x%04X code | 0x%04X-0x%04X data/stack (SP0=0x%04X)\n",
+				a.Name, a.CodeLo, a.CodeHi-1, a.DataLo, a.DataHi-1, a.StackTop)
+		}
+		fmt.Println("\nper-app analysis (AFT phase 1):")
+		for _, a := range fw.Apps {
+			chk := a.Checked
+			stack := "unbounded (recursion); default stack + MPU policing"
+			if chk.MaxStack >= 0 {
+				stack = fmt.Sprintf("%d bytes", chk.MaxStack)
+			}
+			sites := 0
+			apiCalls := 0
+			for _, fi := range chk.Funcs {
+				sites += fi.CheckSites
+				apiCalls += len(fi.APICalls)
+			}
+			fmt.Printf("  %-14s funcs=%d  check-sites=%d  api-call-sites=%d  est. stack=%s\n",
+				a.Name, len(chk.Funcs), sites, apiCalls, stack)
+		}
+	}
+	if *dumpAsm {
+		for _, a := range fw.Apps {
+			fmt.Printf("\n;; ---- %s code segment ----\n", a.Name)
+			seg := asm.Segment{Addr: a.CodeLo, Data: extract(fw, a.CodeLo, a.CodeHi)}
+			fmt.Print(asm.DumpSegment(seg))
+		}
+	}
+}
+
+func extract(fw *aft.Firmware, lo, hi uint16) []byte {
+	out := make([]byte, hi-lo)
+	for _, s := range fw.Image.Segments {
+		for i, b := range s.Data {
+			addr := s.Addr + uint16(i)
+			if addr >= lo && addr < hi {
+				out[addr-lo] = b
+			}
+		}
+	}
+	return out
+}
+
+func parseMode(s string) (cc.Mode, bool) {
+	for _, m := range cc.Modes {
+		if strings.EqualFold(m.String(), s) {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amuletc:", err)
+	os.Exit(1)
+}

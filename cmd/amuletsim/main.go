@@ -1,0 +1,116 @@
+// Command amuletsim runs firmware on the simulated MCU.
+//
+// Two forms:
+//
+//	amuletsim -main prog.c        compile a standalone program (int main())
+//	                              and run it to halt, printing the exit
+//	                              code, console output and cycle count;
+//	amuletsim -app NAME [-ms N]   boot the kernel with a bundled app and
+//	                              run N ms of virtual wear, printing app
+//	                              state, log records and fault reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"amuletiso"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/cpu"
+)
+
+func main() {
+	mainFile := flag.String("main", "", "standalone AmuletC program with main()")
+	appName := flag.String("app", "", "bundled application to run under the kernel")
+	modeName := flag.String("mode", "MPU", "isolation mode")
+	ms := flag.Uint64("ms", 10_000, "virtual milliseconds to run (kernel form)")
+	budget := flag.Uint64("budget", 100_000_000, "cycle budget (standalone form)")
+	flag.Parse()
+
+	var mode cc.Mode
+	found := false
+	for _, m := range cc.Modes {
+		if strings.EqualFold(m.String(), *modeName) {
+			mode, found = m, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	switch {
+	case *mainFile != "":
+		runStandalone(*mainFile, mode, *budget)
+	case *appName != "":
+		runApp(*appName, mode, *ms)
+	default:
+		fmt.Fprintln(os.Stderr, "amuletsim: pass -main prog.c or -app name")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runStandalone(path string, mode cc.Mode, budget uint64) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := cc.CompileProgram("prog", string(src), cc.ProgramOptions{
+		Mode: mode, EnableMPU: mode == cc.ModeMPU,
+	})
+	if err != nil {
+		fail(err)
+	}
+	m := prog.Load()
+	reason, fault := m.Run(budget)
+	if len(m.CPU.Console) > 0 {
+		fmt.Printf("console: %s\n", m.CPU.Console)
+	}
+	fmt.Printf("stop=%v cycles=%d insns=%d\n", reason, m.CPU.Cycles, m.CPU.Insns)
+	switch reason {
+	case cpu.StopHalt:
+		if m.CPU.ExitCode == cc.FaultExitCode {
+			fmt.Println("exit: ISOLATION FAULT (check stub)")
+			os.Exit(3)
+		}
+		fmt.Printf("exit: %d\n", int16(m.CPU.ExitCode))
+	case cpu.StopFault:
+		fmt.Printf("hardware fault: %v\n", fault)
+		os.Exit(3)
+	}
+}
+
+func runApp(name string, mode cc.Mode, ms uint64) {
+	app, ok := amuletiso.AppByName(name)
+	if !ok {
+		fail(fmt.Errorf("no bundled app %q", name))
+	}
+	sys, err := amuletiso.NewSystem([]amuletiso.App{app}, mode)
+	if err != nil {
+		fail(err)
+	}
+	n := sys.RunFor(ms)
+	st := sys.App(0)
+	fmt.Printf("%s under %v: %d events in %d ms of wear\n", app.Title, mode, n, ms)
+	fmt.Printf("  dispatches=%d syscalls=%d active-cycles=%d alive=%v\n",
+		st.Dispatches, st.Syscalls, st.Cycles, st.Alive)
+	for _, v := range st.LogValues {
+		fmt.Printf("  log tag=%d value=%d at %dms\n", v.Tag, v.Value, v.AtMS)
+	}
+	if len(st.Log) > 0 {
+		fmt.Printf("  raw log: % X\n", st.Log)
+	}
+	for row, text := range sys.Kernel.Display.Rows {
+		fmt.Printf("  display[%d] = %q\n", row, text)
+	}
+	for _, f := range sys.Kernel.Faults {
+		fmt.Printf("  FAULT app=%d at=%dms: %s\n", f.App, f.AtMS, f.Reason)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amuletsim:", err)
+	os.Exit(1)
+}

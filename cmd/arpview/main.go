@@ -1,0 +1,58 @@
+// Command arpview is the ARP-view analogue: it prints the Figure 2 data set
+// — per-application weekly isolation overhead and battery-lifetime impact —
+// for any subset of apps and isolation methods.
+//
+// Usage:
+//
+//	arpview [-sample minutes] [-app name]...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"amuletiso"
+	"amuletiso/internal/arp"
+)
+
+type appList []string
+
+func (a *appList) String() string     { return strings.Join(*a, ",") }
+func (a *appList) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	sample := flag.Int("sample", 20, "profiling window in minutes of virtual wear")
+	var names appList
+	flag.Var(&names, "app", "profile only this app (repeatable; default: whole suite)")
+	flag.Parse()
+
+	apps := amuletiso.Suite()
+	if len(names) > 0 {
+		apps = apps[:0]
+		for _, n := range names {
+			a, ok := amuletiso.AppByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "arpview: no app %q\n", n)
+				os.Exit(1)
+			}
+			apps = append(apps, a)
+		}
+	}
+
+	window := uint64(*sample) * 60 * 1000
+	fmt.Printf("%-15s %-15s %14s %12s %12s\n",
+		"Application", "Mode", "Gcycles/week", "battery %", "life -hrs")
+	for _, app := range apps {
+		for _, mode := range arp.Figure2Modes {
+			o, err := amuletiso.MeasureApp(app, mode, window)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arpview:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-15s %-15s %14.3f %11.3f%% %12.2f\n",
+				app.Title, mode.String(), o.BillionsPerWeek, o.BatteryImpactPct, o.LifetimeLossHours)
+		}
+	}
+}

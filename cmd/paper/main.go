@@ -1,0 +1,57 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation section and prints them side by side with the published
+// values.
+//
+// Usage:
+//
+//	paper [-table1] [-figure2] [-figure3] [-sample minutes] [-iters n]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amuletiso"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "run Table 1 (primitive operation costs)")
+	f2 := flag.Bool("figure2", false, "run Figure 2 (weekly overhead and battery impact)")
+	f3 := flag.Bool("figure3", false, "run Figure 3 (benchmark slowdowns)")
+	sample := flag.Int("sample", 20, "Figure 2 profiling window in minutes of virtual wear")
+	iters := flag.Int("iters", 200, "Figure 3 iterations per benchmark (paper: 200)")
+	flag.Parse()
+
+	all := !*t1 && !*f2 && !*f3
+
+	if *t1 || all {
+		r, err := amuletiso.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if *f3 || all {
+		r, err := amuletiso.Figure3(*iters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+	if *f2 || all {
+		fmt.Printf("profiling the nine-app suite (%d min window x 9 apps x 4 modes)...\n", *sample)
+		r, err := amuletiso.Figure2(uint64(*sample) * 60 * 1000)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+package amuletiso
+
+import (
+	"testing"
+
+	"amuletiso/internal/arp"
+	"amuletiso/internal/kernel"
+)
+
+// TestWholePlatform is the flagship integration test: all nine Amulet
+// applications installed in one firmware image — the multi-app wearable the
+// paper's platform exists to support — running together under each memory
+// model for two virtual minutes, sharing sensors, display, timers and the
+// OS, with zero faults and every app making progress.
+func TestWholePlatform(t *testing.T) {
+	for _, mode := range Modes {
+		sys, err := NewSystem(Suite(), mode)
+		if err != nil {
+			t.Fatalf("[%v] build: %v", mode, err)
+		}
+		if n := len(sys.Firmware.Apps); n != 9 {
+			t.Fatalf("[%v] %d apps", mode, n)
+		}
+		sys.RunFor(2 * 60 * 1000)
+
+		for i, st := range sys.Kernel.Apps {
+			if !st.Alive {
+				t.Errorf("[%v] app %d (%s) died: %v", mode, i, st.Info.Name, sys.Kernel.Faults)
+			}
+			if st.Dispatches == 0 {
+				t.Errorf("[%v] app %d (%s) never ran", mode, i, st.Info.Name)
+			}
+		}
+		if len(sys.Kernel.Faults) != 0 {
+			t.Errorf("[%v] faults: %v", mode, sys.Kernel.Faults)
+		}
+		if sys.Kernel.GateCount() == 0 {
+			t.Errorf("[%v] no context switches recorded", mode)
+		}
+		// The clock app must have drawn at least one face refresh and the
+		// high-rate apps must dominate dispatch counts.
+		fall := sys.Kernel.Apps[2] // falldetection, 20 Hz
+		clk := sys.Kernel.Apps[1]  // clock, 1 Hz
+		if fall.Dispatches <= clk.Dispatches {
+			t.Errorf("[%v] dispatch rates wrong: fall=%d clock=%d", mode, fall.Dispatches, clk.Dispatches)
+		}
+	}
+}
+
+// TestWholePlatformIsolationUnderAttack installs the nine real apps plus a
+// malicious tenth app that tries to corrupt each neighbor in turn; under
+// the MPU hybrid every attempt must fault without collateral damage, and
+// the other nine must keep running.
+func TestWholePlatformIsolationUnderAttack(t *testing.T) {
+	evil := App{Name: "evil", Source: `
+void handle_event(int ev, int arg) {
+    if (ev == 3) {
+        int *p = 0;
+        uint a = arg;
+        p = p + (a >> 1);
+        *p = 0x0BAD;
+    }
+}
+`}
+	list := append([]App{evil}, Suite()...)
+	sys, err := NewSystem(list, MPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Kernel.Policy = kernel.RestartPolicy{MaxFaults: 100, BackoffMS: 10}
+
+	// Attack every other app's data segment base.
+	for _, victim := range sys.Firmware.Apps[1:] {
+		sys.Kernel.Post(0, 3, victim.DataLo+64, 1)
+		sys.RunFor(50)
+	}
+	sys.RunFor(5_000)
+
+	if got := sys.App(0).Faults; got != 9 {
+		t.Errorf("evil app faulted %d times, want 9", got)
+	}
+	for i, st := range sys.Kernel.Apps[1:] {
+		if !st.Alive || st.Faults > 0 {
+			t.Errorf("victim %d (%s) harmed: alive=%v faults=%d", i+1, st.Info.Name, st.Alive, st.Faults)
+		}
+	}
+}
+
+// TestFigure2WorkloadsMatchAcrossModes guards the ARP methodology: the
+// deterministic workload must deliver the identical number of events under
+// every mode, or overhead subtraction would be meaningless.
+func TestFigure2WorkloadsMatchAcrossModes(t *testing.T) {
+	for _, app := range Suite()[:3] {
+		var dispatches []uint64
+		for _, mode := range Modes {
+			s, err := arp.Profile(app, mode, 20_000)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", app.Name, mode, err)
+			}
+			dispatches = append(dispatches, s.Dispatches)
+		}
+		for _, d := range dispatches[1:] {
+			if d != dispatches[0] {
+				t.Errorf("%s: dispatch counts diverge across modes: %v", app.Name, dispatches)
+				break
+			}
+		}
+	}
+}

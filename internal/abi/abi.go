@@ -1,0 +1,200 @@
+// Package abi pins down the binary interface shared by the AmuletC compiler
+// (internal/cc), the firmware toolchain (internal/aft) and the AmuletOS
+// kernel (internal/kernel): the calling convention, the OS API table and
+// syscall numbers, kernel port addresses, and the naming scheme for the
+// per-application boundary symbols that isolation checks compare against.
+package abi
+
+import "fmt"
+
+// Calling convention (mspgcc-style):
+//
+//   - the first four word arguments travel in R12, R13, R14, R15;
+//     further arguments are pushed right to left;
+//   - the result is returned in R12;
+//   - R12-R15 are caller-saved, R4-R11 callee-saved;
+//   - the stack grows downward; SP points at the last pushed word.
+const (
+	// MaxRegArgs is the number of arguments passed in registers.
+	MaxRegArgs = 4
+)
+
+// Kernel ports (memory-mapped in peripheral space, above the CPU debug
+// ports). Gate code writes these with ordinary MOV instructions.
+const (
+	PortFault    uint16 = 0x01F0 // write: app raised an isolation fault; value = app ID
+	PortYield    uint16 = 0x01F2 // write: dispatch veneer finished an event
+	PortSvcExtra uint16 = 0x01F4 // write: 5th+ syscall argument staging
+)
+
+// Kernel-owned OS globals referenced by generated gate code. These live in
+// OS data (placed by the AFT) and are addressed through link-time symbols.
+const (
+	SymVarSavedSP   = "os.var.saved_sp"   // app SP stashed while in the OS
+	SymVarOSStackSP = "os.var.stack_top"  // holds the OS stack top value (SRAM)
+	SymVarAppSP     = "os.var.app_sp"     // app SP to install on dispatch
+	SymVarCurB1     = "os.var.cur_b1"     // current app's MPU boundary 1
+	SymVarCurB2     = "os.var.cur_b2"     // current app's MPU boundary 2
+	SymVarCurSAM    = "os.var.cur_sam"    // current app's MPUSAM rights
+	SymVarGateCount = "os.var.gate_count" // context-switch bookkeeping counter
+	SymVarCurApp    = "os.var.cur_app"    // current app ID
+)
+
+// Fixed OS layout symbols defined by the AFT.
+const (
+	SymOSDataLo = "os.__data_lo"   // start of OS data (MPU boundary 1, OS plan)
+	SymAppsBase = "os.__apps_base" // first app address (MPU boundary 2, OS plan)
+	SymDispatch = "os.dispatch"    // event dispatch veneer
+	SymOSFault  = "os.fault"       // shared fault sink (runtime library target)
+	SymGateFail = "os.gate.fail"   // gate pointer-validation failure stub
+)
+
+// FaultCurrentApp is the PortFault value meaning "the currently-running
+// app" (used by shared stubs that cannot name an app statically).
+const FaultCurrentApp uint16 = 0xFFFF
+
+// Syscall numbers. The id is written to the CPU syscall port by gate code;
+// the kernel dispatches to the matching service.
+const (
+	SysGetTime      uint16 = 1  // () -> ms since boot (low word)
+	SysReadAccel    uint16 = 2  // (axis 0..2) -> milli-g sample
+	SysReadHR       uint16 = 3  // () -> heart rate bpm
+	SysReadTemp     uint16 = 4  // () -> temperature in 0.1 C
+	SysReadLight    uint16 = 5  // () -> ambient light lux
+	SysReadBattery  uint16 = 6  // () -> battery percent
+	SysDisplayClear uint16 = 7  // () -> 0
+	SysDisplayText  uint16 = 8  // (ptr, len, row) -> 0
+	SysDisplayDraw  uint16 = 9  // (x, y, glyph) -> 0
+	SysLogWrite     uint16 = 10 // (ptr, len) -> bytes logged
+	SysLogValue     uint16 = 11 // (tag, value) -> 0
+	SysSetTimer     uint16 = 12 // (ms) -> timer id; fires a TimerEvent
+	SysRand         uint16 = 13 // () -> pseudo-random word
+	SysSubscribe    uint16 = 14 // (sensor, rate) -> 0; enables sensor events
+	SysGetSteps     uint16 = 15 // () -> pedometer hardware step register
+	SysYield        uint16 = 16 // () -> 0; cooperative yield point
+	SysPing         uint16 = 17 // (ptr) -> 0; no-op probe with a pointer argument,
+	//                             used to measure bare gate cost (Table 1)
+)
+
+// APIFunc describes one OS API function callable from AmuletC.
+type APIFunc struct {
+	Name    string // AmuletC-visible name
+	Sys     uint16 // syscall number
+	NArgs   int    // number of word arguments
+	HasRet  bool   // returns a word in R12
+	PtrArg  int    // index of a pointer argument, or -1 (gates validate it)
+	LenArg  int    // index of the matching length argument, or -1
+	Comment string
+}
+
+// API is the OS call table, in stable order. Sema checks app calls against
+// this list; the AFT generates one gate per entry; the kernel implements
+// each service.
+var API = []APIFunc{
+	{"amulet_get_time", SysGetTime, 0, true, -1, -1, "milliseconds since boot"},
+	{"amulet_read_accel", SysReadAccel, 1, true, -1, -1, "accelerometer axis sample (milli-g)"},
+	{"amulet_read_hr", SysReadHR, 0, true, -1, -1, "heart-rate sensor (bpm)"},
+	{"amulet_read_temp", SysReadTemp, 0, true, -1, -1, "temperature (deci-celsius)"},
+	{"amulet_read_light", SysReadLight, 0, true, -1, -1, "ambient light (lux)"},
+	{"amulet_read_battery", SysReadBattery, 0, true, -1, -1, "battery level (percent)"},
+	{"amulet_display_clear", SysDisplayClear, 0, false, -1, -1, "clear the display"},
+	{"amulet_display_text", SysDisplayText, 3, false, 0, 1, "draw text (ptr, len, row)"},
+	{"amulet_display_draw", SysDisplayDraw, 3, false, -1, -1, "draw a glyph (x, y, glyph)"},
+	{"amulet_log_write", SysLogWrite, 2, true, 0, 1, "append raw bytes to the app log"},
+	{"amulet_log_value", SysLogValue, 2, false, -1, -1, "append a tagged value to the app log"},
+	{"amulet_set_timer", SysSetTimer, 1, true, -1, -1, "arm a one-shot timer (ms)"},
+	{"amulet_rand", SysRand, 0, true, -1, -1, "pseudo-random word"},
+	{"amulet_subscribe", SysSubscribe, 2, false, -1, -1, "subscribe to sensor events (sensor, rate)"},
+	{"amulet_get_steps", SysGetSteps, 0, true, -1, -1, "hardware step-counter register"},
+	{"amulet_yield", SysYield, 0, false, -1, -1, "cooperative yield"},
+	{"amulet_ping", SysPing, 1, false, 0, -1, "no-op probe carrying a pointer (gate microbenchmark)"},
+}
+
+// APIByName returns the API entry for an AmuletC-visible name.
+func APIByName(name string) (APIFunc, bool) {
+	for _, f := range API {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return APIFunc{}, false
+}
+
+// Sensor identifiers for amulet_subscribe / sensor events.
+const (
+	SensorAccel  = 0
+	SensorHR     = 1
+	SensorTemp   = 2
+	SensorLight  = 3
+	SensorButton = 4
+)
+
+// Event codes delivered to app handlers (first handler argument).
+const (
+	EvInit   = 0 // app start
+	EvTimer  = 1 // timer expiry (arg = timer id)
+	EvSensor = 2 // sensor sample (arg = value); sensor in high byte of event? no: one event per subscription
+	EvButton = 3 // user button (arg = button id)
+	EvTick   = 4 // periodic scheduler tick
+)
+
+// Boundary and toolchain symbol naming. Every app compilation unit "u" gets
+// these link-time symbols; isolation checks compare addresses against them.
+func SymCodeLo(unit string) string { return unit + ".__code_lo" }
+
+// SymCodeHi names the first address past the unit's code.
+func SymCodeHi(unit string) string { return unit + ".__code_hi" }
+
+// SymDataLo names the start of the unit's data/stack segment (the paper's Di).
+func SymDataLo(unit string) string { return unit + ".__data_lo" }
+
+// SymDataHi names the first address past the unit's data segment (Ei).
+func SymDataHi(unit string) string { return unit + ".__data_hi" }
+
+// SymFault names the unit's fault stub (jump target of failed checks).
+func SymFault(unit string) string { return unit + ".__fault" }
+
+// SymStackTop names the initial stack pointer of the unit.
+func SymStackTop(unit string) string { return unit + ".__stack_top" }
+
+// SymGate names the shared OS gate for one API function.
+func SymGate(apiName string) string { return "os.gate." + apiName }
+
+// SymFunc names a compiled AmuletC function within a unit.
+func SymFunc(unit, fn string) string { return unit + "." + fn }
+
+// SymGlobal names a compiled AmuletC global within a unit.
+func SymGlobal(unit, g string) string { return unit + ".g." + g }
+
+// SymRT names a shared runtime-library routine (multiply, divide, bounds).
+func SymRT(name string) string { return "rt." + name }
+
+// SymOSCodeLo names the base of executable code (start of OS code in FRAM).
+// Return-address checks use it as their lower bound: a return may land in
+// the app's own code or in OS code below it (the dispatch veneer and gates
+// live there), but never in data, stacks or higher apps.
+const SymOSCodeLo = "os.__code_lo"
+
+// Validate performs internal consistency checks on the API table; returns
+// the first problem found, or nil. Used by tests.
+func Validate() error {
+	seen := map[string]bool{}
+	ids := map[uint16]string{}
+	for _, f := range API {
+		if seen[f.Name] {
+			return fmt.Errorf("abi: duplicate API name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if prev, dup := ids[f.Sys]; dup {
+			return fmt.Errorf("abi: syscall %d shared by %q and %q", f.Sys, prev, f.Name)
+		}
+		ids[f.Sys] = f.Name
+		if f.NArgs > MaxRegArgs {
+			return fmt.Errorf("abi: %q has %d args; gates support at most %d", f.Name, f.NArgs, MaxRegArgs)
+		}
+		if f.PtrArg >= f.NArgs || f.LenArg >= f.NArgs {
+			return fmt.Errorf("abi: %q pointer/length argument out of range", f.Name)
+		}
+	}
+	return nil
+}

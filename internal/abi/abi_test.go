@@ -1,0 +1,51 @@
+package abi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAPITableConsistent(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPIByName(t *testing.T) {
+	f, ok := APIByName("amulet_read_hr")
+	if !ok || f.Sys != SysReadHR {
+		t.Fatalf("lookup failed: %+v %v", f, ok)
+	}
+	if _, ok := APIByName("not_an_api"); ok {
+		t.Fatal("phantom API found")
+	}
+}
+
+func TestPointerAPIsDeclareTheirArgument(t *testing.T) {
+	for _, f := range API {
+		if f.PtrArg >= 0 && f.PtrArg >= f.NArgs {
+			t.Errorf("%s: PtrArg out of range", f.Name)
+		}
+		if !strings.HasPrefix(f.Name, "amulet_") {
+			t.Errorf("%s: API names must carry the amulet_ prefix", f.Name)
+		}
+	}
+}
+
+func TestSymbolNamingDisjoint(t *testing.T) {
+	// Per-unit symbols for different units must never collide, and the
+	// different kinds within one unit must be distinct.
+	syms := []string{
+		SymCodeLo("a"), SymCodeHi("a"), SymDataLo("a"), SymDataHi("a"),
+		SymFault("a"), SymStackTop("a"), SymFunc("a", "f"), SymGlobal("a", "g"),
+		SymCodeLo("b"), SymFunc("b", "f"), SymGlobal("b", "g"),
+		SymGate("amulet_yield"), SymRT("mul"), SymOSCodeLo,
+	}
+	seen := map[string]bool{}
+	for _, s := range syms {
+		if seen[s] {
+			t.Errorf("symbol collision: %s", s)
+		}
+		seen[s] = true
+	}
+}

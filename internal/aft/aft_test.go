@@ -1,0 +1,205 @@
+package aft
+
+import (
+	"testing"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/mem"
+	"amuletiso/internal/mpu"
+)
+
+const tinyApp = `
+int count = 0;
+void handle_event(int ev, int arg) {
+    count++;
+    amulet_log_value(1, count);
+}
+`
+
+const tinyApp2 = `
+int total = 0;
+void handle_event(int ev, int arg) {
+    total = total + arg;
+}
+`
+
+func buildAll(t *testing.T, apps []AppSource) map[cc.Mode]*Firmware {
+	t.Helper()
+	out := map[cc.Mode]*Firmware{}
+	for _, m := range cc.Modes {
+		fw, err := Build(apps, m)
+		if err != nil {
+			t.Fatalf("[%v] build: %v", m, err)
+		}
+		out[m] = fw
+	}
+	return out
+}
+
+func TestBuildLayoutInvariants(t *testing.T) {
+	apps := []AppSource{
+		{Name: "alpha", Source: tinyApp},
+		{Name: "beta", Source: tinyApp2},
+	}
+	for mode, fw := range buildAll(t, apps) {
+		if len(fw.Apps) != 2 {
+			t.Fatalf("[%v] %d apps", mode, len(fw.Apps))
+		}
+		prevEnd := fw.OSPlanB2
+		if fw.OSPlanB1%uint16(mpu.Granularity) != 0 || fw.OSPlanB2%uint16(mpu.Granularity) != 0 {
+			t.Errorf("[%v] OS plan boundaries not MPU-aligned: %04X %04X", mode, fw.OSPlanB1, fw.OSPlanB2)
+		}
+		for _, a := range fw.Apps {
+			// Figure 1 ordering: code below data, apps packed upward.
+			if !(a.CodeLo < a.CodeHi && a.CodeHi <= a.DataLo && a.DataLo < a.DataHi) {
+				t.Errorf("[%v] %s: bad segment order %04X %04X %04X %04X",
+					mode, a.Name, a.CodeLo, a.CodeHi, a.DataLo, a.DataHi)
+			}
+			if a.CodeLo != prevEnd {
+				t.Errorf("[%v] %s: code starts at %04X, want packed at %04X", mode, a.Name, a.CodeLo, prevEnd)
+			}
+			if a.DataLo%uint16(mpu.Granularity) != 0 || a.DataHi%uint16(mpu.Granularity) != 0 {
+				t.Errorf("[%v] %s: data bounds not MPU-aligned", mode, a.Name)
+			}
+			if !(a.DataLo < a.StackTop && a.StackTop <= a.DataHi) {
+				t.Errorf("[%v] %s: stack top %04X outside data segment", mode, a.Name, a.StackTop)
+			}
+			if a.Handler < a.CodeLo || a.Handler >= a.CodeHi {
+				t.Errorf("[%v] %s: handler outside code segment", mode, a.Name)
+			}
+			prevEnd = a.DataHi
+		}
+		if fw.Image.Overlaps() != "" {
+			t.Errorf("[%v] overlap: %s", mode, fw.Image.Overlaps())
+		}
+		if _, ok := fw.Image.Sym(abi.SymGate("amulet_yield")); !ok {
+			t.Errorf("[%v] missing yield gate", mode)
+		}
+		if fw.OSPlanB1 <= mem.FRAMLo {
+			t.Errorf("[%v] OS data at %04X", mode, fw.OSPlanB1)
+		}
+	}
+}
+
+func TestBuildRejectsBadApps(t *testing.T) {
+	// No handler.
+	_, err := Build([]AppSource{{Name: "x", Source: "int main() { return 0; }"}}, cc.ModeMPU)
+	if err == nil {
+		t.Fatal("missing handle_event accepted")
+	}
+	// Recursion under the restricted dialect.
+	rec := `
+int f(int n) { if (n < 1) { return 0; } return f(n - 1); }
+void handle_event(int ev, int arg) { f(3); }
+`
+	_, err = Build([]AppSource{{Name: "x", Source: rec}}, cc.ModeFeatureLimited)
+	if err == nil {
+		t.Fatal("recursion accepted in Amulet C")
+	}
+	// Same app builds fine in full dialect.
+	if _, err = Build([]AppSource{{Name: "x", Source: rec}}, cc.ModeMPU); err != nil {
+		t.Fatalf("recursion rejected in full dialect: %v", err)
+	}
+	// Duplicate names.
+	_, err = Build([]AppSource{
+		{Name: "x", Source: tinyApp}, {Name: "x", Source: tinyApp},
+	}, cc.ModeMPU)
+	if err == nil {
+		t.Fatal("duplicate app names accepted")
+	}
+	// Pointers under restricted dialect without a restricted variant.
+	ptr := `
+int g;
+void handle_event(int ev, int arg) { int *p = &g; *p = 1; }
+`
+	_, err = Build([]AppSource{{Name: "x", Source: ptr}}, cc.ModeFeatureLimited)
+	if err == nil {
+		t.Fatal("pointers accepted in Amulet C")
+	}
+	// ... but a RestrictedSource variant fixes it.
+	_, err = Build([]AppSource{{Name: "x", Source: ptr, RestrictedSource: tinyApp}}, cc.ModeFeatureLimited)
+	if err != nil {
+		t.Fatalf("restricted variant rejected: %v", err)
+	}
+}
+
+func TestGateSizesDifferByMode(t *testing.T) {
+	// The MPU gate must be strictly longer than the base gate (it rewrites
+	// the MPU twice); the SoftwareOnly gate sits between for pointer APIs.
+	apps := []AppSource{{Name: "a", Source: tinyApp}}
+	sizes := map[cc.Mode]int{}
+	for _, m := range cc.Modes {
+		fw, err := Build(apps, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := fw.Image.MustSym(abi.SymGate("amulet_log_write"))
+		hi := fw.Image.MustSym(abi.SymGate("amulet_log_value"))
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		sizes[m] = int(hi - lo)
+	}
+	if !(sizes[cc.ModeNoIsolation] == sizes[cc.ModeFeatureLimited] &&
+		sizes[cc.ModeNoIsolation] < sizes[cc.ModeSoftwareOnly] &&
+		sizes[cc.ModeSoftwareOnly] < sizes[cc.ModeMPU]) {
+		t.Errorf("gate size ordering wrong: %v", sizes)
+	}
+}
+
+func TestAppStackSizing(t *testing.T) {
+	shallow := `
+void handle_event(int ev, int arg) { amulet_yield(); }
+`
+	deepSrc := `
+int a(int x) { int buf[40]; buf[0] = x; return b(buf[0]); }
+int b(int x) { int buf[40]; buf[0] = x; return buf[0] + 1; }
+void handle_event(int ev, int arg) { a(arg); }
+`
+	fwS, err := Build([]AppSource{{Name: "s", Source: shallow}}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwD, err := Build([]AppSource{{Name: "d", Source: deepSrc}}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sS := fwS.Apps[0].StackTop - fwS.Apps[0].DataLo
+	sD := fwD.Apps[0].StackTop - fwD.Apps[0].DataLo
+	if sD <= sS {
+		t.Errorf("deep app stack (%d) not larger than shallow (%d)", sD, sS)
+	}
+	// Override wins.
+	fwO, err := Build([]AppSource{{Name: "s", Source: shallow, StackBytes: 900}}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fwO.Apps[0].StackTop - fwO.Apps[0].DataLo; got != 900 {
+		t.Errorf("stack override = %d, want 900", got)
+	}
+}
+
+func TestManyAppsFitAndOverflowDetected(t *testing.T) {
+	var apps []AppSource
+	for _, n := range []string{"a1", "a2", "a3", "a4", "a5", "a6"} {
+		apps = append(apps, AppSource{Name: n, Source: tinyApp})
+	}
+	fw, err := Build(apps, cc.ModeMPU)
+	if err != nil {
+		t.Fatalf("6 small apps should fit: %v", err)
+	}
+	if len(fw.Apps) != 6 {
+		t.Fatal("app count")
+	}
+	// A huge data segment must be rejected (FRAM exhausted: two 24 KB
+	// arrays exceed the ~46 KB app area and wrap the address space).
+	big := AppSource{Name: "big", Source: `
+int huge1[12000];
+int huge2[12000];
+void handle_event(int ev, int arg) { huge1[0] = 1; huge2[0] = 1; }
+`}
+	if _, err := Build([]AppSource{big, {Name: "x", Source: tinyApp}}, cc.ModeMPU); err == nil {
+		t.Fatal("oversized firmware accepted")
+	}
+}

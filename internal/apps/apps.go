@@ -1,0 +1,98 @@
+package apps
+
+import "amuletiso/internal/aft"
+
+// App is a registry entry: an application plus its metadata.
+type App struct {
+	Name             string
+	Title            string // display name used in figures
+	Source           string
+	RestrictedSource string // Amulet C variant when Source needs full C
+	StackBytes       int    // stack override (0 = analyzer estimate)
+	Description      string
+	Benchmark        bool // Table 1 / Figure 3 app rather than a Figure 2 app
+}
+
+// AFT converts the registry entry to a toolchain input.
+func (a App) AFT() aft.AppSource {
+	return aft.AppSource{
+		Name:             a.Name,
+		Source:           a.Source,
+		RestrictedSource: a.RestrictedSource,
+		StackBytes:       a.StackBytes,
+	}
+}
+
+// Suite returns the nine Amulet platform applications of Figure 2, in the
+// paper's display order.
+func Suite() []App {
+	return []App{
+		{Name: "batterymeter", Title: "BatteryMeter", Source: SrcBatteryMeter,
+			Description: "battery gauge with rolling average and low warning"},
+		{Name: "clock", Title: "Clock", Source: SrcClock,
+			Description: "wall clock with per-minute display refresh"},
+		{Name: "falldetection", Title: "FallDetection", Source: SrcFallDetection,
+			Description: "20 Hz impact-then-stillness fall detector"},
+		{Name: "hr", Title: "HR", Source: SrcHR,
+			Description: "smoothed heart rate with training zones"},
+		{Name: "hrlog", Title: "HR Log", Source: SrcHRLog,
+			Description: "heart-rate logger with bulk flushes (OS-intensive)"},
+		{Name: "pedometer", Title: "Pedometer", Source: SrcPedometer,
+			Description: "20 Hz threshold-crossing step counter"},
+		{Name: "rest", Title: "Rest", Source: SrcRest,
+			Description: "rest-minute tracker from activity counts"},
+		{Name: "sun", Title: "Sun", Source: SrcSun,
+			Description: "sun-exposure minutes from light sensor"},
+		{Name: "temperature", Title: "Temperature", Source: SrcTemperature,
+			Description: "skin temperature min/max/average with alerts"},
+	}
+}
+
+// Benchmark event codes understood by the benchmark apps' handlers.
+const (
+	EvMemOps   = 10 // synthetic: arg iterations of the checked memory op
+	EvYieldOps = 11 // synthetic: arg bare API round trips
+	EvGateOps  = 12 // synthetic: arg pointer-carrying API round trips
+	EvCase1    = 10 // activity: case 1 (windowed statistics)
+	EvCase2    = 11 // activity: case 2 (peak detection)
+	EvSort     = 10 // quicksort: fill and sort
+)
+
+// Synthetic returns the Table 1 micro-benchmark app.
+func Synthetic() App {
+	return App{Name: "synthetic", Title: "Synthetic App", Source: SrcSynthetic,
+		Benchmark: true, Description: "isolates memory-access and context-switch costs"}
+}
+
+// Activity returns the Figure 3 activity-detection benchmark app.
+func Activity() App {
+	return App{Name: "activity", Title: "Activity Detection", Source: SrcActivity,
+		Benchmark: true, Description: "windowed statistics and peak detection over an accel buffer"}
+}
+
+// Quicksort returns the Figure 3 quicksort benchmark app.
+func Quicksort() App {
+	return App{Name: "quicksort", Title: "Quicksort", Source: SrcQuicksort,
+		RestrictedSource: SrcQuicksortRestricted, StackBytes: 768,
+		Benchmark: true, Description: "recursive pointer quicksort (iterative under Amulet C)"}
+}
+
+// Benchmarks returns the Table 1 / Figure 3 applications.
+func Benchmarks() []App {
+	return []App{Synthetic(), Activity(), Quicksort()}
+}
+
+// ByName finds a registry entry across the suite and benchmarks.
+func ByName(name string) (App, bool) {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	for _, a := range Benchmarks() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"testing"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/aft"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/kernel"
+)
+
+// TestAllAppsBuildUnderAllModes is the AFT phase-1 gate for the whole suite:
+// every app must compile under every memory model (using its restricted
+// variant where provided).
+func TestAllAppsBuildUnderAllModes(t *testing.T) {
+	all := append(Suite(), Benchmarks()...)
+	for _, app := range all {
+		for _, mode := range cc.Modes {
+			if _, err := aft.Build([]aft.AppSource{app.AFT()}, mode); err != nil {
+				t.Errorf("%s under %v: %v", app.Name, mode, err)
+			}
+		}
+	}
+}
+
+// runApp boots a single-app kernel and runs it for a window.
+func runApp(t *testing.T, app App, mode cc.Mode, ms uint64) *kernel.Kernel {
+	t.Helper()
+	fw, err := aft.Build([]aft.AppSource{app.AFT()}, mode)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", app.Name, mode, err)
+	}
+	k := kernel.New(fw)
+	k.RunUntil(ms)
+	return k
+}
+
+func TestSuiteAppsRunCleanly(t *testing.T) {
+	for _, app := range Suite() {
+		for _, mode := range cc.Modes {
+			k := runApp(t, app, mode, 5_000)
+			st := k.Apps[0]
+			if !st.Alive || st.Faults > 0 {
+				t.Errorf("%s/%v: faults=%d records=%v", app.Name, mode, st.Faults, k.Faults)
+				continue
+			}
+			if st.Dispatches == 0 {
+				t.Errorf("%s/%v: app never dispatched", app.Name, mode)
+			}
+		}
+	}
+}
+
+func TestClockKeepsTime(t *testing.T) {
+	k := runApp(t, Suite()[1], cc.ModeMPU, 61_500) // clock
+	// After 61 seconds the face must show 00:01.
+	face := k.FW.Image.MustSym(abi.SymGlobal("clock", "face"))
+	got := string([]byte{
+		k.Bus.Peek8(face), k.Bus.Peek8(face + 1), k.Bus.Peek8(face + 2),
+		k.Bus.Peek8(face + 3), k.Bus.Peek8(face + 4),
+	})
+	if got != "00:01" {
+		t.Fatalf("clock face = %q, want 00:01", got)
+	}
+	if k.Display.Texts == 0 {
+		t.Fatal("clock never drew")
+	}
+}
+
+func TestPedometerCountsStepsWhileWalking(t *testing.T) {
+	app, _ := ByName("pedometer")
+	fw, err := aft.Build([]aft.AppSource{app.AFT()}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(fw)
+	// Jump the virtual clock into the walking phase (5-10 min) by running
+	// the rest phase cheaply first: events still fire, but steps only
+	// accumulate once the accelerometer oscillates.
+	k.RunUntil(6 * 60 * 1000)
+	steps := k.Bus.Peek16(k.FW.Image.MustSym(abi.SymGlobal("pedometer", "steps")))
+	if steps == 0 {
+		t.Fatal("no steps counted during walking phase")
+	}
+	if k.Apps[0].Faults != 0 {
+		t.Fatalf("pedometer faulted: %v", k.Faults)
+	}
+}
+
+func TestHRAppTracksHeartRate(t *testing.T) {
+	app, _ := ByName("hr")
+	k := runApp(t, app, cc.ModeSoftwareOnly, 30_000)
+	smooth := k.Bus.Peek16(k.FW.Image.MustSym(abi.SymGlobal("hr", "smooth")))
+	if smooth < 40 || smooth > 200 {
+		t.Fatalf("implausible smoothed HR %d", smooth)
+	}
+}
+
+func TestHRLogFlushes(t *testing.T) {
+	app, _ := ByName("hrlog")
+	k := runApp(t, app, cc.ModeMPU, 17_000) // 16 samples + slack
+	if len(k.Apps[0].Log) < 32 {
+		t.Fatalf("log has %d bytes, want a 32-byte flush", len(k.Apps[0].Log))
+	}
+}
+
+// TestQuicksortSortsUnderAllModes is the strongest end-to-end check: the
+// full compile/link/kernel/dispatch pipeline must produce a correctly
+// sorted array in every mode, including the iterative Amulet C variant.
+func TestQuicksortSortsUnderAllModes(t *testing.T) {
+	app := Quicksort()
+	for _, mode := range cc.Modes {
+		fw, err := aft.Build([]aft.AppSource{app.AFT()}, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		k := kernel.New(fw)
+		k.RunUntil(1) // consume init
+		k.Post(0, EvSort, 12345, 1)
+		k.RunUntil(10)
+		if k.Apps[0].Faults != 0 {
+			t.Fatalf("[%v] quicksort faulted: %v", mode, k.Faults)
+		}
+		base := k.FW.Image.MustSym(abi.SymGlobal("quicksort", "data"))
+		prev := int16(-32768)
+		for i := uint16(0); i < 64; i++ {
+			v := int16(k.Bus.Peek16(base + 2*i))
+			if v < prev {
+				t.Fatalf("[%v] data[%d]=%d < data[%d]=%d: not sorted", mode, i, v, i-1, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestActivityBenchmarkRuns(t *testing.T) {
+	app := Activity()
+	for _, mode := range cc.Modes {
+		fw, err := aft.Build([]aft.AppSource{app.AFT()}, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		k := kernel.New(fw)
+		k.RunUntil(1)
+		k.Post(0, EvCase1, 7, 1)
+		k.Post(0, EvCase2, 7, 2)
+		k.RunUntil(10)
+		if k.Apps[0].Faults != 0 {
+			t.Fatalf("[%v] activity faulted: %v", mode, k.Faults)
+		}
+		mean := k.Bus.Peek16(k.FW.Image.MustSym(abi.SymGlobal("activity", "mean")))
+		peaks := k.Bus.Peek16(k.FW.Image.MustSym(abi.SymGlobal("activity", "peaks")))
+		if mean == 0 || peaks == 0 {
+			t.Fatalf("[%v] mean=%d peaks=%d", mode, mean, peaks)
+		}
+	}
+}
+
+func TestSyntheticBenchmarkScalesLinearly(t *testing.T) {
+	app := Synthetic()
+	fw, err := aft.Build([]aft.AppSource{app.AFT()}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(fw)
+	k.RunUntil(1)
+	measure := func(ev, n uint16) uint64 {
+		k.Post(0, ev, n, 1)
+		before := k.CPU.Cycles
+		if !k.Step() {
+			t.Fatal("no event")
+		}
+		return k.CPU.Cycles - before
+	}
+	c100 := measure(EvMemOps, 100)
+	c200 := measure(EvMemOps, 200)
+	perOp := float64(c200-c100) / 100
+	if perOp < 5 || perOp > 200 {
+		t.Fatalf("per-op cycles = %.1f, implausible", perOp)
+	}
+	y100 := measure(EvYieldOps, 100)
+	y200 := measure(EvYieldOps, 200)
+	perSwitch := float64(y200-y100) / 100
+	if perSwitch < 20 || perSwitch > 400 {
+		t.Fatalf("per-switch cycles = %.1f, implausible", perSwitch)
+	}
+}

@@ -1,0 +1,456 @@
+// Package apps contains the AmuletC sources of the application suite used
+// throughout the evaluation:
+//
+//   - the nine Amulet platform applications of the paper's Figure 2
+//     (BatteryMeter, Clock, FallDetection, HR, HRLog, Pedometer, Rest, Sun,
+//     Temperature), re-implemented from their published descriptions in a
+//     common subset that compiles under both dialects; and
+//   - the three benchmark applications of Table 1 and Figure 3 (Synthetic,
+//     ActivityDetection with its two cases, Quicksort), with restricted
+//     variants where the full-dialect version needs pointers or recursion.
+//
+// All workloads are deterministic: sensor inputs come from the kernel's
+// seeded signal models, and benchmark fills use fixed linear congruential
+// sequences.
+package apps
+
+// SrcBatteryMeter samples the battery gauge on a slow timer, keeps a
+// 12-sample rolling average and raises a low-battery log entry.
+const SrcBatteryMeter = `
+int history[12];
+int idx = 0;
+int primed = 0;
+char label[8] = "battery";
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) {
+        int i;
+        for (i = 0; i < 12; i++) { history[i] = 100; }
+        amulet_set_timer(30000);
+        return;
+    }
+    if (ev == 1) {
+        int pct = amulet_read_battery();
+        history[idx] = pct;
+        idx = (idx + 1) % 12;
+        int i;
+        int avg = 0;
+        for (i = 0; i < 12; i++) { avg = avg + history[i]; }
+        avg = avg / 12;
+        if (avg < 20 && primed == 0) {
+            amulet_log_value(1, avg);
+            primed = 1;
+        }
+        amulet_display_text(label, 7, 0);
+        amulet_display_draw(0, 1, pct);
+        amulet_set_timer(30000);
+    }
+}
+`
+
+// SrcClock keeps wall time on a 1 s timer and redraws the face each minute.
+const SrcClock = `
+int seconds = 0;
+int minutes = 0;
+int hours = 0;
+char face[6];
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_set_timer(1000); return; }
+    if (ev == 1) {
+        seconds++;
+        if (seconds >= 60) {
+            seconds = 0;
+            minutes++;
+            if (minutes >= 60) {
+                minutes = 0;
+                hours = (hours + 1) % 24;
+            }
+            face[0] = '0' + hours / 10;
+            face[1] = '0' + hours % 10;
+            face[2] = ':';
+            face[3] = '0' + minutes / 10;
+            face[4] = '0' + minutes % 10;
+            amulet_display_text(face, 5, 0);
+        }
+        amulet_set_timer(1000);
+    }
+}
+`
+
+// SrcFallDetection watches 20 Hz accelerometer magnitude for an impact
+// spike followed by stillness — the computation-heavy, high-event-rate app.
+const SrcFallDetection = `
+int window[32];
+int widx = 0;
+int armed = 0;
+int quiet = 0;
+int falls = 0;
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_subscribe(0, 50); return; }
+    if (ev == 2) {
+        int x = amulet_read_accel(0);
+        int y = amulet_read_accel(1);
+        int z = amulet_read_accel(2);
+        if (x < 0) { x = 0 - x; }
+        if (y < 0) { y = 0 - y; }
+        if (z < 0) { z = 0 - z; }
+        int mag = x + y + z;
+        window[widx] = mag;
+        widx = (widx + 1) % 32;
+        if (mag > 2400) { armed = 1; quiet = 0; }
+        if (armed == 1) {
+            if (mag < 1100) { quiet++; } else { quiet = 0; }
+            if (quiet > 10) {
+                falls++;
+                amulet_log_value(3, falls);
+                armed = 0;
+            }
+        }
+    }
+}
+`
+
+// SrcHR smooths 1 Hz heart-rate samples and logs training-zone changes.
+const SrcHR = `
+int smooth = 70;
+int zone = 0;
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_subscribe(1, 1000); return; }
+    if (ev == 2 && arg == 1) {
+        int hr = amulet_read_hr();
+        smooth = (smooth * 7 + hr) / 8;
+        int z = 0;
+        if (smooth > 100) { z = 1; }
+        if (smooth > 140) { z = 2; }
+        if (z != zone) {
+            zone = z;
+            amulet_log_value(4, zone);
+        }
+        amulet_display_draw(0, 0, smooth);
+    }
+}
+`
+
+// SrcHRLog buffers heart-rate samples and flushes them in bulk — the
+// OS-intensive app (many context switches per unit of computation).
+const SrcHRLog = `
+int buf[16];
+int n = 0;
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_subscribe(1, 1000); return; }
+    if (ev == 2 && arg == 1) {
+        buf[n] = amulet_read_hr();
+        n++;
+        amulet_log_value(5, buf[n - 1]);
+        if (n >= 16) {
+            amulet_log_write(buf, 32);
+            n = 0;
+        }
+    }
+}
+`
+
+// SrcPedometer counts steps by threshold crossing on the 20 Hz vertical
+// accelerometer axis and refreshes the display every five seconds.
+const SrcPedometer = `
+int steps = 0;
+int above = 0;
+int cool = 0;
+char label[6] = "steps";
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) {
+        amulet_subscribe(0, 50);
+        amulet_set_timer(5000);
+        return;
+    }
+    if (ev == 2 && arg == 0) {
+        int z = amulet_read_accel(2);
+        if (cool > 0) { cool--; }
+        if (z > 1180 && above == 0 && cool == 0) {
+            above = 1;
+            steps++;
+            cool = 4;
+        }
+        if (z < 1020) { above = 0; }
+        return;
+    }
+    if (ev == 1) {
+        amulet_display_text(label, 5, 0);
+        amulet_display_draw(0, 1, steps);
+        amulet_set_timer(5000);
+    }
+}
+`
+
+// SrcRest tracks minutes of physical rest from 5 Hz activity counts.
+const SrcRest = `
+int counts = 0;
+int samples = 0;
+int restMin = 0;
+int resting = 0;
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_subscribe(0, 200); return; }
+    if (ev == 2 && arg == 0) {
+        int x = amulet_read_accel(0);
+        int z = amulet_read_accel(2);
+        int dev = z - 1000;
+        if (dev < 0) { dev = 0 - dev; }
+        if (x < 0) { x = 0 - x; }
+        if (x + dev > 220) { counts++; }
+        samples++;
+        if (samples >= 300) {
+            if (counts < 15) {
+                restMin++;
+                if (resting == 0) { resting = 1; amulet_log_value(6, 1); }
+            } else if (resting == 1) {
+                resting = 0;
+                amulet_log_value(6, 0);
+            }
+            counts = 0;
+            samples = 0;
+        }
+    }
+}
+`
+
+// SrcSun accumulates minutes of sun exposure from 5 s light samples.
+const SrcSun = `
+int sunMin = 0;
+int lux = 0;
+int samples = 0;
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_subscribe(3, 5000); return; }
+    if (ev == 2 && arg == 3) {
+        lux = lux + amulet_read_light();
+        samples++;
+        if (samples >= 12) {
+            if (lux / 12 > 400) {
+                sunMin++;
+                amulet_log_value(8, sunMin);
+            }
+            lux = 0;
+            samples = 0;
+        }
+    }
+}
+`
+
+// SrcTemperature keeps min/max/average skin temperature on 10 s samples
+// and alerts when the average leaves a healthy band.
+const SrcTemperature = `
+int tmin = 9999;
+int tmax = -9999;
+int acc = 0;
+int n = 0;
+
+void handle_event(int ev, int arg) {
+    if (ev == 0) { amulet_subscribe(2, 10000); return; }
+    if (ev == 2 && arg == 2) {
+        int tc = amulet_read_temp();
+        if (tc < tmin) { tmin = tc; }
+        if (tc > tmax) { tmax = tc; }
+        acc = acc + tc;
+        n++;
+        if (n >= 6) {
+            int avg = acc / n;
+            amulet_display_draw(0, 0, avg);
+            if (avg > 380 || avg < 300) { amulet_log_value(9, avg); }
+            acc = 0;
+            n = 0;
+        }
+    }
+}
+`
+
+// SrcSynthetic is the Table 1 micro-benchmark: event 10 runs arg iterations
+// of the canonical checked memory operation (one read plus one write of an
+// indexed array slot); event 11 runs arg bare API round-trips (amulet_yield,
+// the cheapest gate); event 12 runs arg pointer-carrying API round-trips
+// (amulet_ping, a zero-cost service, so the gate cost dominates).
+const SrcSynthetic = `
+int buf[64];
+
+void mem_ops(int n) {
+    int i;
+    int j = 0;
+    for (i = 0; i < n; i++) {
+        buf[j] = buf[j] + 1;
+        j++;
+        if (j >= 64) { j = 0; }
+    }
+}
+
+void yield_ops(int n) {
+    int i;
+    for (i = 0; i < n; i++) { amulet_yield(); }
+}
+
+void gate_ops(int n) {
+    int i;
+    for (i = 0; i < n; i++) { amulet_ping(buf); }
+}
+
+void handle_event(int ev, int arg) {
+    if (ev == 10) { mem_ops(arg); return; }
+    if (ev == 11) { yield_ops(arg); return; }
+    if (ev == 12) { gate_ops(arg); return; }
+}
+`
+
+// SrcActivity is the Figure 3 activity-detection benchmark. Event 10 runs
+// Case 1 (windowed mean/variance); event 11 runs Case 2 (peak detection).
+// Both are memory-access heavy with no API calls in the measured section.
+const SrcActivity = `
+int window[64];
+int mean = 0;
+int variance = 0;
+int peaks = 0;
+
+void fill(int seed) {
+    int i;
+    int v = seed;
+    for (i = 0; i < 64; i++) {
+        v = v * 31 + 7;
+        int w = v % 997;
+        if (w < 0) { w = 0 - w; }
+        window[i] = w;
+    }
+}
+
+void case1(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 64; i++) { s = s + window[i]; }
+    mean = s >> 6;
+    int var = 0;
+    for (i = 0; i < 64; i++) {
+        int d = window[i] - mean;
+        var = var + ((d * d) >> 6);
+    }
+    variance = var;
+}
+
+void case2(void) {
+    int i;
+    int count = 0;
+    for (i = 1; i < 63; i++) {
+        if (window[i] > window[i - 1] && window[i] > window[i + 1] && window[i] > mean) {
+            count++;
+        }
+    }
+    peaks = count;
+}
+
+void handle_event(int ev, int arg) {
+    if (ev == 10) { fill(arg); case1(); return; }
+    if (ev == 11) { fill(arg); case2(); return; }
+}
+`
+
+// SrcQuicksort is the Figure 3 quicksort benchmark in customary C:
+// recursion and pointers, exactly what the paper's contribution newly
+// permits on the platform.
+const SrcQuicksort = `
+int data[64];
+
+void qsort_range(int *a, int lo, int hi) {
+    if (lo >= hi) { return; }
+    int p = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < p) { i++; }
+        while (a[j] > p) { j--; }
+        if (i <= j) {
+            int t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i++;
+            j--;
+        }
+    }
+    qsort_range(a, lo, j);
+    qsort_range(a, i, hi);
+}
+
+void fill(int seed) {
+    int i;
+    int v = seed;
+    for (i = 0; i < 64; i++) {
+        v = v * 75 + 74;
+        int w = v % 1009;
+        if (w < 0) { w = 0 - w; }
+        data[i] = w;
+    }
+}
+
+void handle_event(int ev, int arg) {
+    if (ev == 10) {
+        fill(arg);
+        qsort_range(data, 0, 63);
+    }
+}
+`
+
+// SrcQuicksortRestricted is the Amulet C variant: no pointers, no
+// recursion, so the partition stack is an explicit pair of index arrays —
+// the porting burden the paper's contribution removes.
+const SrcQuicksortRestricted = `
+int data[64];
+int stkLo[32];
+int stkHi[32];
+
+void fill(int seed) {
+    int i;
+    int v = seed;
+    for (i = 0; i < 64; i++) {
+        v = v * 75 + 74;
+        int w = v % 1009;
+        if (w < 0) { w = 0 - w; }
+        data[i] = w;
+    }
+}
+
+void qsort_iter(int lo0, int hi0) {
+    int top = 0;
+    stkLo[top] = lo0;
+    stkHi[top] = hi0;
+    top = 1;
+    while (top > 0) {
+        top--;
+        int lo = stkLo[top];
+        int hi = stkHi[top];
+        if (lo >= hi) { continue; }
+        int p = data[(lo + hi) / 2];
+        int i = lo;
+        int j = hi;
+        while (i <= j) {
+            while (data[i] < p) { i++; }
+            while (data[j] > p) { j--; }
+            if (i <= j) {
+                int t = data[i];
+                data[i] = data[j];
+                data[j] = t;
+                i++;
+                j--;
+            }
+        }
+        if (top < 31) { stkLo[top] = lo; stkHi[top] = j; top++; }
+        if (top < 31) { stkLo[top] = i; stkHi[top] = hi; top++; }
+    }
+}
+
+void handle_event(int ev, int arg) {
+    if (ev == 10) {
+        fill(arg);
+        qsort_iter(0, 63);
+    }
+}
+`

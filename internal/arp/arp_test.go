@@ -1,0 +1,80 @@
+package arp
+
+import (
+	"testing"
+
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cc"
+)
+
+func TestProfileDeterministic(t *testing.T) {
+	app, _ := apps.ByName("clock")
+	a, err := Profile(app, cc.ModeMPU, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(app, cc.ModeMPU, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Dispatches != b.Dispatches {
+		t.Fatalf("profiles differ: %+v vs %+v", a, b)
+	}
+	if a.Dispatches == 0 || a.Cycles == 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestMeasureOverheadShape(t *testing.T) {
+	app, _ := apps.ByName("falldetection") // array-heavy, high event rate
+	window := uint64(30_000)
+	get := func(m cc.Mode) *Overhead {
+		o, err := Measure(app, m, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	mpu := get(cc.ModeMPU)
+	sw := get(cc.ModeSoftwareOnly)
+	fl := get(cc.ModeFeatureLimited)
+
+	for _, o := range []*Overhead{mpu, sw, fl} {
+		if o.CyclesPerWeek < 0 {
+			t.Fatalf("negative overhead: %+v", o)
+		}
+		if o.BatteryImpactPct >= 0.5 {
+			t.Fatalf("%v battery impact %.3f%% violates the paper's claim", o.Mode, o.BatteryImpactPct)
+		}
+	}
+	// MPU pays for API-heavy events (three accel reads per sample): its
+	// weekly cost must exceed SoftwareOnly's for this app — the paper's
+	// "not effective for apps that make frequent API calls".
+	if mpu.CyclesPerWeek <= sw.CyclesPerWeek {
+		t.Errorf("MPU (%.0f) should exceed SoftwareOnly (%.0f) for API-heavy apps",
+			mpu.CyclesPerWeek, sw.CyclesPerWeek)
+	}
+	// Extrapolation scale: weekly = window overhead x (week/window).
+	wantScale := float64(MSPerWeek) / float64(window)
+	gotScale := mpu.CyclesPerWeek / (float64(mpu.SampleCycles) - float64(mpu.BaselineCycles))
+	if gotScale < wantScale*0.999 || gotScale > wantScale*1.001 {
+		t.Errorf("extrapolation factor %.1f, want %.1f", gotScale, wantScale)
+	}
+}
+
+func TestMeasureRejectsWorkloadMismatch(t *testing.T) {
+	// A faulting app cannot be profiled.
+	bad := apps.App{Name: "bad", Source: `
+void handle_event(int ev, int arg) {
+    if (ev == 0) {
+        int *p = 0;
+        uint a = 0x1C00;
+        p = p + (a >> 1);
+        *p = 1;
+    }
+}
+`}
+	if _, err := Profile(bad, cc.ModeMPU, 1000); err == nil {
+		t.Fatal("faulting app profiled without error")
+	}
+}

@@ -1,0 +1,345 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// runImage loads img into a fresh machine and runs until halt.
+func runImage(t *testing.T, img *Image, budget uint64) *cpu.CPU {
+	t.Helper()
+	bus := mem.NewBus()
+	c := cpu.New(bus)
+	img.LoadInto(bus)
+	c.SetPC(img.Entry)
+	c.SetSP(0x2400)
+	reason, f := c.Run(budget)
+	if f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+	if reason != cpu.StopHalt {
+		t.Fatalf("stop reason = %v, want halt", reason)
+	}
+	return c
+}
+
+func TestBuilderBasicProgram(t *testing.T) {
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Label("__start")
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(3), Dst: isa.RegOp(isa.R4)})
+	b.Label("loop")
+	b.Emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(isa.R4), Dst: isa.RegOp(isa.R5)})
+	b.Emit(isa.Instr{Op: isa.SUB, Src: isa.Imm(1), Dst: isa.RegOp(isa.R4)})
+	b.Branch(isa.JNE, "loop")
+	b.EmitRef(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R5), Dst: isa.Abs(0)},
+		NoRef, Ref{Sym: "result"})
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.Abs(cpu.PortHalt)})
+	b.Org(0x1C00)
+	b.Label("result")
+	b.Word(0)
+
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 10000)
+	addr := img.MustSym("result")
+	if got := c.Bus.Peek16(addr); got != 6 {
+		t.Fatalf("result = %d, want 6 (3+2+1)", got)
+	}
+}
+
+func TestBuilderUndefinedSymbol(t *testing.T) {
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Branch(isa.JMP, "nowhere")
+	if _, err := b.Link(); err == nil {
+		t.Fatal("undefined branch target not reported")
+	}
+
+	b = NewBuilder()
+	b.Org(0x4400)
+	b.EmitRef(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.RegOp(isa.R4)},
+		Ref{Sym: "ghost"}, NoRef)
+	if _, err := b.Link(); err == nil {
+		t.Fatal("undefined operand symbol not reported")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Label("x")
+	b.Word(0)
+	b.Label("x")
+	if _, err := b.Link(); err == nil {
+		t.Fatal("duplicate label not reported")
+	}
+}
+
+func TestBranchRelaxation(t *testing.T) {
+	// A conditional branch over >1 KiB of code must relax to J!cc + BR and
+	// still behave correctly.
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Label("__start")
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(1), Dst: isa.RegOp(isa.R4)})
+	b.Emit(isa.Instr{Op: isa.CMP, Src: isa.Imm(1), Dst: isa.RegOp(isa.R4)})
+	b.Branch(isa.JEQ, "far") // taken, but out of short range
+	// 600 filler words of 1-cycle instructions (MOV R5,R5 = 1 word each).
+	for i := 0; i < 600; i++ {
+		b.Emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R5), Dst: isa.RegOp(isa.R5)})
+	}
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0xDEAD), Dst: isa.RegOp(isa.R6)})
+	b.Label("far")
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0x600D), Dst: isa.RegOp(isa.R7)})
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.Abs(cpu.PortHalt)})
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 100000)
+	if c.Regs[isa.R6] == 0xDEAD {
+		t.Fatal("relaxed branch fell through")
+	}
+	if c.Regs[isa.R7] != 0x600D {
+		t.Fatalf("R7 = %04X", c.Regs[isa.R7])
+	}
+}
+
+func TestBackwardLongBranch(t *testing.T) {
+	// Long backward JMP: code at high address jumps back past 1 KiB.
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Label("__start")
+	b.Branch(isa.JMP, "mid") // forward long jump
+	b.Label("back")
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0x11), Dst: isa.RegOp(isa.R4)})
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.Abs(cpu.PortHalt)})
+	for i := 0; i < 600; i++ {
+		b.Emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R5), Dst: isa.RegOp(isa.R5)})
+	}
+	b.Label("mid")
+	b.Branch(isa.JMP, "back") // backward long jump
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 100000)
+	if c.Regs[isa.R4] != 0x11 {
+		t.Fatal("long backward jump missed")
+	}
+}
+
+func TestImageOverlapDetection(t *testing.T) {
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Word(1)
+	b.Word(2)
+	b.Org(0x4402) // overlaps second word
+	b.Word(3)
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Overlaps() == "" {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestImageMergeCollision(t *testing.T) {
+	a := NewImage()
+	a.Symbols["f"] = 0x4400
+	b := NewImage()
+	b.Symbols["f"] = 0x5000
+	if err := a.Merge(b); err == nil {
+		t.Fatal("symbol collision not reported")
+	}
+}
+
+func TestAssembleTextProgram(t *testing.T) {
+	img, err := Assemble(`
+; compute 7 * 6 by repeated addition
+.equ HALT, 0x01E0
+.org 0x4400
+__start:
+        MOV   #7, R4        ; multiplicand
+        MOV   #6, R5        ; count
+        CLR   R6
+loop:   ADD   R4, R6
+        DEC   R5
+        JNZ   loop
+        MOV   R6, &product
+        MOV   #0, &HALT
+.org 0x1C00
+product: .word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 10000)
+	if got := c.Bus.Peek16(img.MustSym("product")); got != 42 {
+		t.Fatalf("product = %d", got)
+	}
+}
+
+func TestAssembleAddressingModes(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV   #buf, R4
+        MOV   #0x1122, 0(R4)
+        MOV   #0x3344, 2(R4)
+        MOV   @R4+, R5      ; R5 = 1122, R4 = buf+2
+        MOV   @R4, R6       ; R6 = 3344
+        MOV.B #0xFF, &buf+4
+        MOV   &buf+4, R7
+        MOV   #0, &0x01E0
+.org 0x1C00
+buf:    .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 10000)
+	if c.Regs[isa.R5] != 0x1122 || c.Regs[isa.R6] != 0x3344 {
+		t.Fatalf("R5=%04X R6=%04X", c.Regs[isa.R5], c.Regs[isa.R6])
+	}
+	if c.Regs[isa.R7]&0xFF != 0xFF {
+		t.Fatalf("R7=%04X", c.Regs[isa.R7])
+	}
+}
+
+func TestAssembleEmulatedMnemonics(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV  #5, R4
+        PUSH R4
+        CLR  R4
+        POP  R5          ; 5
+        INC  R5          ; 6
+        INCD R5          ; 8
+        DEC  R5          ; 7
+        TST  R5
+        JZ   bad
+        INV  R5          ; FFF8
+        RLA  R5          ; FFF0
+        SETC
+        RLC  R4          ; 1
+        NOP
+        BR   #done
+bad:    MOV  #1, R15
+done:   MOV  #0, &0x01E0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 10000)
+	if c.Regs[isa.R5] != 0xFFF0 {
+		t.Fatalf("R5 = %04X, want FFF0", c.Regs[isa.R5])
+	}
+	if c.Regs[isa.R4] != 1 {
+		t.Fatalf("R4 = %04X, want 1 (RLC with carry)", c.Regs[isa.R4])
+	}
+	if c.Regs[isa.R15] == 1 {
+		t.Fatal("JZ taken wrongly")
+	}
+}
+
+func TestAssembleCallRet(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV  #3, R12
+        CALL #double
+        MOV  R12, &out
+        MOV  #0, &0x01E0
+double: ADD  R12, R12
+        RET
+.org 0x1C00
+out:    .word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 10000)
+	if got := c.Bus.Peek16(img.MustSym("out")); got != 6 {
+		t.Fatalf("out = %d", got)
+	}
+}
+
+func TestAssembleDataDirectives(t *testing.T) {
+	img, err := Assemble(`
+.org 0x1C00
+tbl:    .word 1, 2, tbl
+bytes:  .byte 0xAA, 0xBB
+msg:    .asciz "ok"
+.align 4
+aligned: .word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mem.NewBus()
+	img.LoadInto(bus)
+	if bus.Peek16(0x1C04) != 0x1C00 {
+		t.Fatalf("symbol in .word: %04X", bus.Peek16(0x1C04))
+	}
+	if bus.Peek8(0x1C06) != 0xAA || bus.Peek8(0x1C07) != 0xBB {
+		t.Fatal(".byte wrong")
+	}
+	if bus.Peek8(0x1C08) != 'o' || bus.Peek8(0x1C09) != 'k' || bus.Peek8(0x1C0A) != 0 {
+		t.Fatal(".asciz wrong")
+	}
+	if a := img.MustSym("aligned"); a%4 != 0 {
+		t.Fatalf("aligned at %04X", a)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"BOGUS R4",
+		"MOV #1",
+		"JNE #5",
+		".org zzz+",
+		".equ 9name, 4",
+		"MOV #1, @R4", // indirect destination
+		".word \"str\"",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(".org 0x4400\n" + src); err == nil {
+			t.Errorf("Assemble(%q) unexpectedly succeeded", src)
+		}
+	}
+	// Error messages carry line numbers.
+	_, err := Assemble("\n\nBOGUS R4\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("line number missing: %v", err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV  #0x1234, R4
+        ADD  R4, R5
+        CALL #__start
+        RETI
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := DumpSegment(img.Segments[0])
+	for _, want := range []string{"MOV #4660, R4", "ADD R4, R5", "CALL #17408", "RETI"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package asm provides the assembly layer between the compiler and the
+// simulated machine: a programmatic instruction builder with labels,
+// relocation and automatic long-branch relaxation; a textual MSP430-syntax
+// assembler used for the hand-written runtime library and tests; firmware
+// images; and a disassembler for diagnostics.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"amuletiso/internal/isa"
+)
+
+// Ref is a symbolic reference to be added into an operand's extension word
+// (immediate value, absolute address or index) at link time.
+type Ref struct {
+	Sym string // symbol name; empty means "no reference"
+	Add uint16 // constant addend
+}
+
+// NoRef is the absent reference.
+var NoRef = Ref{}
+
+type entryKind uint8
+
+const (
+	kInstr entryKind = iota
+	kBranch
+	kLabel
+	kOrg
+	kAlign
+	kWord
+	kBytes
+	kSpace
+)
+
+type entry struct {
+	kind entryKind
+
+	in       isa.Instr // kInstr, kBranch (branch op + condition)
+	src, dst Ref       // kInstr operand patches
+	target   string    // kBranch target label
+	long     bool      // kBranch: relaxed to BR form
+
+	name string // kLabel
+	val  uint16 // kOrg address, kAlign grain, kWord literal, kSpace size
+	ref  Ref    // kWord symbolic value
+	data []byte // kBytes
+
+	addr uint16 // assigned address (after layout)
+	size uint16 // assigned size in bytes
+}
+
+// LinkError reports a failure to resolve or encode the program.
+type LinkError struct {
+	Sym    string
+	Detail string
+}
+
+func (e *LinkError) Error() string {
+	if e.Sym != "" {
+		return fmt.Sprintf("asm: symbol %q: %s", e.Sym, e.Detail)
+	}
+	return "asm: " + e.Detail
+}
+
+// Builder assembles a program as a sequence of located chunks. Use Org to
+// set the location counter; emit instructions, labels and data; then Link to
+// resolve symbols and produce an Image.
+type Builder struct {
+	entries []entry
+	equs    map[string]uint16
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{equs: make(map[string]uint16)}
+}
+
+// Org sets the location counter for subsequent code and data.
+func (b *Builder) Org(addr uint16) {
+	b.entries = append(b.entries, entry{kind: kOrg, val: addr})
+}
+
+// Label binds name to the current location.
+func (b *Builder) Label(name string) {
+	b.entries = append(b.entries, entry{kind: kLabel, name: name})
+}
+
+// Equ defines an absolute symbol.
+func (b *Builder) Equ(name string, v uint16) {
+	b.equs[name] = v
+}
+
+// Emit appends a concrete instruction.
+func (b *Builder) Emit(in isa.Instr) {
+	b.entries = append(b.entries, entry{kind: kInstr, in: in})
+}
+
+// EmitRef appends an instruction whose source and/or destination extension
+// word is patched with a symbol value at link time. The operand's X field
+// is replaced by sym+add (any existing X is ignored; put constants in Add).
+func (b *Builder) EmitRef(in isa.Instr, src, dst Ref) {
+	b.entries = append(b.entries, entry{kind: kInstr, in: in, src: src, dst: dst})
+}
+
+// Branch appends a conditional or unconditional jump to a label, relaxed
+// automatically to a BR (MOV #addr, PC) sequence when out of short range.
+func (b *Builder) Branch(op isa.Op, label string) {
+	if !op.IsJump() {
+		panic("asm: Branch requires a jump op")
+	}
+	b.entries = append(b.entries, entry{kind: kBranch, in: isa.Instr{Op: op}, target: label})
+}
+
+// Word appends a literal data word.
+func (b *Builder) Word(v uint16) {
+	b.entries = append(b.entries, entry{kind: kWord, val: v})
+}
+
+// WordRef appends a data word holding sym+add.
+func (b *Builder) WordRef(r Ref) {
+	b.entries = append(b.entries, entry{kind: kWord, ref: r})
+}
+
+// Bytes appends raw bytes.
+func (b *Builder) Bytes(p []byte) {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	b.entries = append(b.entries, entry{kind: kBytes, data: cp})
+}
+
+// Space appends n zero bytes.
+func (b *Builder) Space(n uint16) {
+	b.entries = append(b.entries, entry{kind: kSpace, val: n})
+}
+
+// Align pads with zero bytes to the given power-of-two grain.
+func (b *Builder) Align(grain uint16) {
+	b.entries = append(b.entries, entry{kind: kAlign, val: grain})
+}
+
+// invertJump returns the opposite condition, for long-branch relaxation.
+func invertJump(op isa.Op) isa.Op {
+	switch op {
+	case isa.JNE:
+		return isa.JEQ
+	case isa.JEQ:
+		return isa.JNE
+	case isa.JNC:
+		return isa.JC
+	case isa.JC:
+		return isa.JNC
+	case isa.JGE:
+		return isa.JL
+	case isa.JL:
+		return isa.JGE
+	}
+	return op // JMP, JN have no single-jump inverse; JMP handled separately
+}
+
+// layout assigns addresses and sizes; returns the label table.
+func (b *Builder) layout() (map[string]uint16, error) {
+	syms := make(map[string]uint16, len(b.equs))
+	for k, v := range b.equs {
+		syms[k] = v
+	}
+	seen := make(map[string]bool)
+	pc := uint16(0)
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.addr = pc
+		switch e.kind {
+		case kOrg:
+			pc = e.val
+			e.addr = pc
+			e.size = 0
+		case kLabel:
+			if _, isEqu := b.equs[e.name]; isEqu {
+				return nil, &LinkError{e.name, "label collides with EQU symbol"}
+			}
+			if seen[e.name] {
+				return nil, &LinkError{e.name, "defined more than once"}
+			}
+			seen[e.name] = true
+			syms[e.name] = pc
+			e.size = 0
+		case kAlign:
+			g := e.val
+			if g == 0 {
+				g = 2
+			}
+			rem := pc % g
+			if rem != 0 {
+				e.size = g - rem
+			} else {
+				e.size = 0
+			}
+			pc += e.size
+		case kInstr:
+			in := e.in
+			if e.src.Sym != "" && in.Src.Mode == isa.ModeImmediate {
+				// Symbol-patched immediates always get an extension word,
+				// whatever value links in (see isa.EncodeForceImm).
+				in.Src.X = 0x7FFF
+			}
+			e.size = in.Size()
+			pc += e.size
+		case kBranch:
+			if e.long {
+				if e.in.Op == isa.JMP {
+					e.size = 4 // MOV #addr, PC
+				} else {
+					e.size = 6 // J!cc +skip ; MOV #addr, PC
+				}
+			} else {
+				e.size = 2
+			}
+			pc += e.size
+		case kWord:
+			e.size = 2
+			pc += 2
+		case kBytes:
+			e.size = uint16(len(e.data))
+			pc += e.size
+		case kSpace:
+			e.size = e.val
+			pc += e.size
+		}
+	}
+	return syms, nil
+}
+
+// resolveRef computes the patched extension value for a reference.
+func resolveRef(syms map[string]uint16, r Ref, orig uint16) (uint16, error) {
+	if r.Sym == "" {
+		return orig, nil
+	}
+	v, ok := syms[r.Sym]
+	if !ok {
+		return 0, &LinkError{r.Sym, "undefined symbol"}
+	}
+	return v + r.Add, nil
+}
+
+// Link resolves all symbols and branches and produces a firmware image.
+func (b *Builder) Link() (*Image, error) {
+	// Iterate layout until branch sizes are stable (relaxation only grows
+	// entries, so this terminates).
+	var syms map[string]uint16
+	for pass := 0; ; pass++ {
+		if pass > len(b.entries)+2 {
+			return nil, &LinkError{Detail: "branch relaxation did not converge"}
+		}
+		var err error
+		syms, err = b.layout()
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.kind != kBranch || e.long {
+				continue
+			}
+			tgt, ok := syms[e.target]
+			if !ok {
+				return nil, &LinkError{e.target, "undefined branch target"}
+			}
+			diff := int32(tgt) - int32(e.addr+2)
+			off := diff / 2
+			if diff%2 != 0 || off < -511 || off > 511 {
+				e.long = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	img := NewImage()
+	for k, v := range syms {
+		img.Symbols[k] = v
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		switch e.kind {
+		case kInstr:
+			in := e.in
+			forceImm := false
+			if e.src.Sym != "" {
+				switch in.Src.Mode {
+				case isa.ModeImmediate:
+					forceImm = true
+				case isa.ModeAbsolute, isa.ModeIndexed:
+				default:
+					return nil, &LinkError{e.src.Sym,
+						fmt.Sprintf("source mode %v cannot carry a symbol reference", in.Src.Mode)}
+				}
+				v, err := resolveRef(syms, e.src, in.Src.X)
+				if err != nil {
+					return nil, err
+				}
+				in.Src.X = v
+			}
+			if e.dst.Sym != "" {
+				switch in.Dst.Mode {
+				case isa.ModeAbsolute, isa.ModeIndexed:
+				default:
+					return nil, &LinkError{e.dst.Sym,
+						fmt.Sprintf("destination mode %v cannot carry a symbol reference", in.Dst.Mode)}
+				}
+				v, err := resolveRef(syms, e.dst, in.Dst.X)
+				if err != nil {
+					return nil, err
+				}
+				in.Dst.X = v
+			}
+			var words []uint16
+			var err error
+			if forceImm {
+				words, err = isa.EncodeForceImm(in)
+			} else {
+				words, err = isa.Encode(in)
+			}
+			if err != nil {
+				return nil, &LinkError{Detail: err.Error()}
+			}
+			img.putWords(e.addr, words)
+		case kBranch:
+			tgt := syms[e.target]
+			if !e.long {
+				off := (int32(tgt) - int32(e.addr+2)) / 2
+				in := e.in
+				in.Dst = isa.Operand{Mode: isa.ModeNone, X: uint16(int16(off))}
+				img.putWords(e.addr, isa.MustEncode(in))
+				break
+			}
+			if e.in.Op == isa.JMP {
+				br := isa.Instr{Op: isa.MOV, Src: isa.Imm(tgt), Dst: isa.RegOp(isa.PC)}
+				img.putWords(e.addr, isa.MustEncode(br))
+				break
+			}
+			inv := invertJump(e.in.Op)
+			if inv == e.in.Op {
+				return nil, &LinkError{e.target, fmt.Sprintf("cannot relax %v to long form", e.in.Op)}
+			}
+			// J!cc skips the 4-byte BR that follows.
+			skip := isa.Instr{Op: inv, Dst: isa.Operand{Mode: isa.ModeNone, X: 2}}
+			img.putWords(e.addr, isa.MustEncode(skip))
+			br := isa.Instr{Op: isa.MOV, Src: isa.Imm(tgt), Dst: isa.RegOp(isa.PC)}
+			img.putWords(e.addr+2, isa.MustEncode(br))
+		case kWord:
+			v, err := resolveRef(syms, e.ref, e.val)
+			if err != nil {
+				return nil, err
+			}
+			img.putWords(e.addr, []uint16{v})
+		case kBytes:
+			img.putBytes(e.addr, e.data)
+		case kSpace:
+			img.putBytes(e.addr, make([]byte, e.size))
+		case kAlign:
+			img.putBytes(e.addr, make([]byte, e.size))
+		}
+	}
+	img.normalize()
+	return img, nil
+}
+
+// Symbols returns a sorted list of symbol names defined so far (labels bound
+// on a prior Link pass are not required; this is a convenience for tools).
+func (b *Builder) Symbols() []string {
+	var names []string
+	for i := range b.entries {
+		if b.entries[i].kind == kLabel {
+			names = append(names, b.entries[i].name)
+		}
+	}
+	for n := range b.equs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,57 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"amuletiso/internal/isa"
+)
+
+// DisasmLine is one decoded instruction with its location.
+type DisasmLine struct {
+	Addr  uint16
+	Size  uint16
+	Instr isa.Instr
+	Bad   bool // undecodable word
+}
+
+// String renders "ADDR: INSTR".
+func (l DisasmLine) String() string {
+	if l.Bad {
+		return fmt.Sprintf("%04X: .word ?", l.Addr)
+	}
+	return fmt.Sprintf("%04X: %s", l.Addr, l.Instr)
+}
+
+// Disassemble decodes [lo, hi) from r, resynchronizing on undecodable words.
+func Disassemble(r isa.WordReader, lo, hi uint16) []DisasmLine {
+	var out []DisasmLine
+	for addr := lo &^ 1; addr < hi; {
+		in, size, err := isa.Decode(r, addr)
+		if err != nil {
+			out = append(out, DisasmLine{Addr: addr, Size: 2, Bad: true})
+			addr += 2
+			continue
+		}
+		out = append(out, DisasmLine{Addr: addr, Size: size, Instr: in})
+		addr += size
+	}
+	return out
+}
+
+// DumpSegment disassembles a whole image segment to text.
+func DumpSegment(s Segment) string {
+	r := isa.WordReaderFunc(func(addr uint16) uint16 {
+		off := int(addr) - int(s.Addr)
+		if off < 0 || off+1 >= len(s.Data) {
+			return 0xFFFF
+		}
+		return uint16(s.Data[off]) | uint16(s.Data[off+1])<<8
+	})
+	var sb strings.Builder
+	for _, l := range Disassemble(r, s.Addr, uint16(s.End()-1)+1) {
+		sb.WriteString(l.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

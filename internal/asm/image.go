@@ -1,0 +1,130 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"amuletiso/internal/mem"
+)
+
+// Segment is a contiguous run of bytes at an absolute address.
+type Segment struct {
+	Addr uint16
+	Data []byte
+}
+
+// End returns the first address past the segment.
+func (s Segment) End() uint32 { return uint32(s.Addr) + uint32(len(s.Data)) }
+
+// Image is linked firmware: located segments plus the symbol table.
+type Image struct {
+	Segments []Segment
+	Symbols  map[string]uint16
+	// Entry is the initial PC; loaders fall back to the symbol "__start".
+	Entry uint16
+}
+
+// NewImage returns an empty image.
+func NewImage() *Image {
+	return &Image{Symbols: make(map[string]uint16)}
+}
+
+func (img *Image) putBytes(addr uint16, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	img.Segments = append(img.Segments, Segment{Addr: addr, Data: cp})
+}
+
+func (img *Image) putWords(addr uint16, ws []uint16) {
+	p := make([]byte, 2*len(ws))
+	for i, w := range ws {
+		p[2*i] = byte(w)
+		p[2*i+1] = byte(w >> 8)
+	}
+	img.Segments = append(img.Segments, Segment{Addr: addr, Data: p})
+}
+
+// normalize sorts segments and coalesces adjacent runs.
+func (img *Image) normalize() {
+	if len(img.Segments) == 0 {
+		return
+	}
+	sort.SliceStable(img.Segments, func(i, j int) bool {
+		return img.Segments[i].Addr < img.Segments[j].Addr
+	})
+	out := img.Segments[:1]
+	for _, s := range img.Segments[1:] {
+		last := &out[len(out)-1]
+		if uint32(s.Addr) == last.End() {
+			last.Data = append(last.Data, s.Data...)
+		} else {
+			out = append(out, s)
+		}
+	}
+	img.Segments = out
+	if e, ok := img.Symbols["__start"]; ok && img.Entry == 0 {
+		img.Entry = e
+	}
+}
+
+// Overlaps returns a description of the first pair of overlapping segments,
+// or the empty string. The AFT uses this as a layout sanity check.
+func (img *Image) Overlaps() string {
+	for i := 1; i < len(img.Segments); i++ {
+		prev, cur := img.Segments[i-1], img.Segments[i]
+		if cur.Addr < prev.Addr || prev.End() > uint32(cur.Addr) {
+			return fmt.Sprintf("segment at 0x%04X (%d bytes) overlaps segment at 0x%04X",
+				prev.Addr, len(prev.Data), cur.Addr)
+		}
+	}
+	return ""
+}
+
+// Size returns the total number of image bytes.
+func (img *Image) Size() int {
+	n := 0
+	for _, s := range img.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Sym returns the address of a symbol, with presence flag.
+func (img *Image) Sym(name string) (uint16, bool) {
+	v, ok := img.Symbols[name]
+	return v, ok
+}
+
+// MustSym returns the address of a required symbol, panicking if absent;
+// for toolchain-internal symbols whose absence is a toolchain bug.
+func (img *Image) MustSym(name string) uint16 {
+	v, ok := img.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: required symbol %q missing from image", name))
+	}
+	return v
+}
+
+// LoadInto copies all segments into the bus (loader path, unchecked).
+func (img *Image) LoadInto(b *mem.Bus) {
+	for _, s := range img.Segments {
+		b.LoadBytes(s.Addr, s.Data)
+	}
+}
+
+// Merge copies another image's segments and symbols into img. Symbol
+// collisions are reported as errors.
+func (img *Image) Merge(other *Image) error {
+	for name, v := range other.Symbols {
+		if old, ok := img.Symbols[name]; ok && old != v {
+			return &LinkError{name, fmt.Sprintf("defined at both 0x%04X and 0x%04X", old, v)}
+		}
+		img.Symbols[name] = v
+	}
+	img.Segments = append(img.Segments, other.Segments...)
+	img.normalize()
+	return nil
+}

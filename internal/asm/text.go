@@ -1,0 +1,502 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"amuletiso/internal/isa"
+)
+
+// SyntaxError reports a problem in assembler source text.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// Assemble parses MSP430-syntax assembler text and links it into an image.
+// See Parse for the accepted syntax.
+func Assemble(src string) (*Image, error) {
+	b := NewBuilder()
+	if err := Parse(src, b); err != nil {
+		return nil, err
+	}
+	return b.Link()
+}
+
+// Parse appends the program in src to the builder. The syntax is classic
+// MSP430 assembler:
+//
+//	; comment                     // comment
+//	label:  MOV.B  #5, &flag      ; immediate, absolute
+//	        MOV    2(R4), R5      ; indexed
+//	        ADD    @R4+, R5       ; autoincrement
+//	        JNE    label          ; branches take labels
+//	        CALL   #func
+//	        RET                   ; emulated instructions supported
+//	.org   0x4400                 ; location counter
+//	.equ   NAME, 0x1234           ; absolute symbol
+//	.word  1, label, label+2      ; data
+//	.byte  1, 2, 3
+//	.ascii "text"                 ; also .asciz
+//	.space 16
+//	.align 2
+func Parse(src string, b *Builder) error {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		if err := parseLine(raw, line, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseLine(raw string, line int, b *Builder) error {
+	s := raw
+	if j := strings.IndexAny(s, ";"); j >= 0 {
+		s = s[:j]
+	}
+	if j := strings.Index(s, "//"); j >= 0 {
+		s = s[:j]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Leading label(s).
+	for {
+		j := strings.Index(s, ":")
+		if j < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:j])
+		if !isIdent(name) {
+			break
+		}
+		b.Label(name)
+		s = strings.TrimSpace(s[j+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return parseDirective(s, line, b)
+	}
+	return parseInstr(s, line, b)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.', r == '$':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitArgs splits a comma-separated argument list (no nesting in this
+// syntax, so a plain split suffices — string literals are handled by the
+// directives that accept them before calling this).
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseDirective(s string, line int, b *Builder) error {
+	fields := strings.SplitN(s, " ", 2)
+	dir := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".org":
+		v, _, err := parseExprConst(rest, line)
+		if err != nil {
+			return err
+		}
+		b.Org(v)
+	case ".equ", ".set":
+		args := splitArgs(rest)
+		if len(args) != 2 || !isIdent(args[0]) {
+			return &SyntaxError{line, ".equ needs NAME, VALUE"}
+		}
+		v, _, err := parseExprConst(args[1], line)
+		if err != nil {
+			return err
+		}
+		b.Equ(args[0], v)
+	case ".word":
+		for _, a := range splitArgs(rest) {
+			ref, c, err := parseExpr(a, line)
+			if err != nil {
+				return err
+			}
+			if ref.Sym != "" {
+				b.WordRef(ref)
+			} else {
+				b.Word(c)
+			}
+		}
+	case ".byte":
+		var bs []byte
+		for _, a := range splitArgs(rest) {
+			v, _, err := parseExprConst(a, line)
+			if err != nil {
+				return err
+			}
+			bs = append(bs, byte(v))
+		}
+		b.Bytes(bs)
+	case ".ascii", ".asciz":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return &SyntaxError{line, "bad string literal: " + rest}
+		}
+		data := []byte(str)
+		if dir == ".asciz" {
+			data = append(data, 0)
+		}
+		b.Bytes(data)
+	case ".space", ".skip":
+		v, _, err := parseExprConst(rest, line)
+		if err != nil {
+			return err
+		}
+		b.Space(v)
+	case ".align":
+		v, _, err := parseExprConst(rest, line)
+		if err != nil {
+			return err
+		}
+		b.Align(v)
+	default:
+		return &SyntaxError{line, "unknown directive " + dir}
+	}
+	return nil
+}
+
+// parseExpr parses NUMBER | SYM | SYM+N | SYM-N, returning either a symbol
+// reference or a constant.
+func parseExpr(s string, line int) (Ref, uint16, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return NoRef, 0, &SyntaxError{line, "empty expression"}
+	}
+	// Character literal.
+	if strings.HasPrefix(s, "'") {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) != 1 {
+			return NoRef, 0, &SyntaxError{line, "bad char literal " + s}
+		}
+		return NoRef, uint16(r[0]), nil
+	}
+	// Pure number (including negative).
+	if v, err := strconv.ParseInt(s, 0, 32); err == nil {
+		return NoRef, uint16(int32(v)), nil
+	}
+	// SYM, SYM+N, SYM-N.
+	sym, add := s, uint16(0)
+	for _, opc := range []byte{'+', '-'} {
+		if j := strings.LastIndexByte(s, opc); j > 0 {
+			n, err := strconv.ParseInt(strings.TrimSpace(s[j+1:]), 0, 32)
+			if err != nil {
+				continue
+			}
+			sym = strings.TrimSpace(s[:j])
+			if opc == '-' {
+				n = -n
+			}
+			add = uint16(int32(n))
+			break
+		}
+	}
+	if !isIdent(sym) {
+		return NoRef, 0, &SyntaxError{line, "bad expression " + s}
+	}
+	return Ref{Sym: sym, Add: add}, 0, nil
+}
+
+// parseExprConst parses an expression that must be constant.
+func parseExprConst(s string, line int) (uint16, bool, error) {
+	ref, c, err := parseExpr(s, line)
+	if err != nil {
+		return 0, false, err
+	}
+	if ref.Sym != "" {
+		return 0, false, &SyntaxError{line, "constant required, got symbol " + ref.Sym}
+	}
+	return c, true, nil
+}
+
+var regNames = map[string]isa.Reg{
+	"PC": isa.PC, "SP": isa.SP, "SR": isa.SR, "CG": isa.CG,
+	"R0": isa.PC, "R1": isa.SP, "R2": isa.SR, "R3": isa.CG,
+	"R4": isa.R4, "R5": isa.R5, "R6": isa.R6, "R7": isa.R7,
+	"R8": isa.R8, "R9": isa.R9, "R10": isa.R10, "R11": isa.R11,
+	"R12": isa.R12, "R13": isa.R13, "R14": isa.R14, "R15": isa.R15,
+}
+
+// parseOperand parses one operand, returning the operand template and an
+// optional symbol reference for its extension word.
+func parseOperand(s string, line int) (isa.Operand, Ref, error) {
+	s = strings.TrimSpace(s)
+	up := strings.ToUpper(s)
+	if r, ok := regNames[up]; ok {
+		return isa.RegOp(r), NoRef, nil
+	}
+	switch {
+	case strings.HasPrefix(s, "#"):
+		ref, c, err := parseExpr(s[1:], line)
+		if err != nil {
+			return isa.Operand{}, NoRef, err
+		}
+		return isa.Imm(c), ref, nil
+	case strings.HasPrefix(s, "&"):
+		ref, c, err := parseExpr(s[1:], line)
+		if err != nil {
+			return isa.Operand{}, NoRef, err
+		}
+		return isa.Abs(c), ref, nil
+	case strings.HasPrefix(s, "@"):
+		rest := strings.TrimPrefix(s, "@")
+		inc := strings.HasSuffix(rest, "+")
+		rest = strings.ToUpper(strings.TrimSuffix(rest, "+"))
+		r, ok := regNames[rest]
+		if !ok {
+			return isa.Operand{}, NoRef, &SyntaxError{line, "bad indirect operand " + s}
+		}
+		if inc {
+			return isa.IndInc(r), NoRef, nil
+		}
+		return isa.Ind(r), NoRef, nil
+	case strings.HasSuffix(s, ")"):
+		j := strings.LastIndex(s, "(")
+		if j < 0 {
+			return isa.Operand{}, NoRef, &SyntaxError{line, "bad indexed operand " + s}
+		}
+		r, ok := regNames[strings.ToUpper(strings.TrimSpace(s[j+1:len(s)-1]))]
+		if !ok {
+			return isa.Operand{}, NoRef, &SyntaxError{line, "bad index register in " + s}
+		}
+		ref, c, err := parseExpr(s[:j], line)
+		if err != nil {
+			return isa.Operand{}, NoRef, err
+		}
+		return isa.Idx(c, r), ref, nil
+	default:
+		// Bare symbol or number: absolute addressing of that location.
+		ref, c, err := parseExpr(s, line)
+		if err != nil {
+			return isa.Operand{}, NoRef, err
+		}
+		return isa.Abs(c), ref, nil
+	}
+}
+
+var jumpOps = map[string]isa.Op{
+	"JNE": isa.JNE, "JNZ": isa.JNE,
+	"JEQ": isa.JEQ, "JZ": isa.JEQ,
+	"JNC": isa.JNC, "JLO": isa.JNC,
+	"JC": isa.JC, "JHS": isa.JC,
+	"JN": isa.JN, "JGE": isa.JGE, "JL": isa.JL, "JMP": isa.JMP,
+}
+
+var twoOps = map[string]isa.Op{
+	"MOV": isa.MOV, "ADD": isa.ADD, "ADDC": isa.ADDC, "SUBC": isa.SUBC,
+	"SUB": isa.SUB, "CMP": isa.CMP, "DADD": isa.DADD, "BIT": isa.BIT,
+	"BIC": isa.BIC, "BIS": isa.BIS, "XOR": isa.XOR, "AND": isa.AND,
+}
+
+var oneOps = map[string]isa.Op{
+	"RRC": isa.RRC, "SWPB": isa.SWPB, "RRA": isa.RRA, "SXT": isa.SXT,
+	"PUSH": isa.PUSH, "CALL": isa.CALL,
+}
+
+func parseInstr(s string, line int, b *Builder) error {
+	var mn, rest string
+	if j := strings.IndexAny(s, " \t"); j >= 0 {
+		mn, rest = s[:j], strings.TrimSpace(s[j+1:])
+	} else {
+		mn = s
+	}
+	mn = strings.ToUpper(mn)
+
+	byteOp := false
+	if strings.HasSuffix(mn, ".B") {
+		byteOp = true
+		mn = strings.TrimSuffix(mn, ".B")
+	} else {
+		mn = strings.TrimSuffix(mn, ".W")
+	}
+
+	if op, ok := jumpOps[mn]; ok {
+		tgt := strings.TrimSpace(rest)
+		if !isIdent(tgt) {
+			return &SyntaxError{line, "jump needs a label target, got " + rest}
+		}
+		b.Branch(op, tgt)
+		return nil
+	}
+
+	emitOne := func(op isa.Op, operand string) error {
+		o, ref, err := parseOperand(operand, line)
+		if err != nil {
+			return err
+		}
+		b.EmitRef(isa.Instr{Op: op, Byte: byteOp, Src: o}, ref, NoRef)
+		return nil
+	}
+	emitTwo := func(op isa.Op, srcS, dstS string) error {
+		so, sref, err := parseOperand(srcS, line)
+		if err != nil {
+			return err
+		}
+		do, dref, err := parseOperand(dstS, line)
+		if err != nil {
+			return err
+		}
+		b.EmitRef(isa.Instr{Op: op, Byte: byteOp, Src: so, Dst: do}, sref, dref)
+		return nil
+	}
+
+	if op, ok := twoOps[mn]; ok {
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return &SyntaxError{line, mn + " needs 2 operands"}
+		}
+		return emitTwo(op, args[0], args[1])
+	}
+	if op, ok := oneOps[mn]; ok {
+		args := splitArgs(rest)
+		if len(args) != 1 {
+			return &SyntaxError{line, mn + " needs 1 operand"}
+		}
+		return emitOne(op, args[0])
+	}
+
+	// Emulated instructions.
+	args := splitArgs(rest)
+	need := func(n int) error {
+		if len(args) != n {
+			return &SyntaxError{line, fmt.Sprintf("%s needs %d operand(s)", mn, n)}
+		}
+		return nil
+	}
+	switch mn {
+	case "RETI":
+		b.Emit(isa.Instr{Op: isa.RETI})
+	case "RET":
+		b.Emit(isa.Instr{Op: isa.MOV, Src: isa.IndInc(isa.SP), Dst: isa.RegOp(isa.PC)})
+	case "NOP":
+		b.Emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.RegOp(isa.CG)})
+	case "POP":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.MOV, "@SP+", args[0])
+	case "BR":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.MOV, args[0], "PC")
+	case "CLR":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.MOV, "#0", args[0])
+	case "CLRC":
+		b.Emit(isa.Instr{Op: isa.BIC, Src: isa.Imm(1), Dst: isa.RegOp(isa.SR)})
+	case "SETC":
+		b.Emit(isa.Instr{Op: isa.BIS, Src: isa.Imm(1), Dst: isa.RegOp(isa.SR)})
+	case "CLRZ":
+		b.Emit(isa.Instr{Op: isa.BIC, Src: isa.Imm(2), Dst: isa.RegOp(isa.SR)})
+	case "SETZ":
+		b.Emit(isa.Instr{Op: isa.BIS, Src: isa.Imm(2), Dst: isa.RegOp(isa.SR)})
+	case "CLRN":
+		b.Emit(isa.Instr{Op: isa.BIC, Src: isa.Imm(4), Dst: isa.RegOp(isa.SR)})
+	case "SETN":
+		b.Emit(isa.Instr{Op: isa.BIS, Src: isa.Imm(4), Dst: isa.RegOp(isa.SR)})
+	case "DINT":
+		b.Emit(isa.Instr{Op: isa.BIC, Src: isa.Imm(8), Dst: isa.RegOp(isa.SR)})
+	case "EINT":
+		b.Emit(isa.Instr{Op: isa.BIS, Src: isa.Imm(8), Dst: isa.RegOp(isa.SR)})
+	case "INC":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.ADD, "#1", args[0])
+	case "INCD":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.ADD, "#2", args[0])
+	case "DEC":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.SUB, "#1", args[0])
+	case "DECD":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.SUB, "#2", args[0])
+	case "TST":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.CMP, "#0", args[0])
+	case "INV":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.XOR, "#-1", args[0])
+	case "RLA":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.ADD, args[0], args[0])
+	case "RLC":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.ADDC, args[0], args[0])
+	case "ADC":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.ADDC, "#0", args[0])
+	case "SBC":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.SUBC, "#0", args[0])
+	case "DADC":
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitTwo(isa.DADD, "#0", args[0])
+	default:
+		return &SyntaxError{line, "unknown mnemonic " + mn}
+	}
+	return nil
+}

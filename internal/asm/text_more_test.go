@@ -1,0 +1,126 @@
+package asm
+
+import (
+	"testing"
+
+	"amuletiso/internal/isa"
+)
+
+// Coverage for the remaining emulated mnemonics and jump aliases.
+
+func TestJumpAliases(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV  #5, R4
+        CMP  #5, R4
+        JZ   eq           ; alias of JEQ
+        MOV  #1, R15
+eq:     CMP  #6, R4
+        JLO  lo           ; alias of JNC: 5 < 6 unsigned
+        MOV  #2, R15
+lo:     CMP  #5, R4
+        JHS  hs           ; alias of JC: 5 >= 5
+        MOV  #3, R15
+hs:     MOV  #0, &0x01E0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 1000)
+	if c.Regs[isa.R15] != 0 {
+		t.Fatalf("alias jump missed: R15=%d", c.Regs[isa.R15])
+	}
+}
+
+func TestFlagManipulationMnemonics(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        SETC
+        MOV  #0, R4
+        ADC  R4           ; R4 += carry -> 1
+        SETZ
+        CLRZ
+        SETN
+        CLRN
+        DINT
+        EINT
+        CLRC
+        SBC  R4           ; R4 -= 1-C -> 0
+        MOV  R4, &out
+        MOV  #0, &0x01E0
+.org 0x1C00
+out:    .word 0xFFFF
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 1000)
+	if got := c.Bus.Peek16(img.MustSym("out")); got != 0 {
+		t.Fatalf("ADC/SBC chain = %04X, want 0", got)
+	}
+	if c.SRBits()&isa.FlagGIE == 0 {
+		t.Fatal("EINT did not set GIE")
+	}
+}
+
+func TestDADCMnemonic(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV  #0x0099, R4
+        CLRC
+        DADD #1, R4       ; 99 + 1 = 100 BCD
+        MOV  #0x0000, R5
+        DADC R5           ; propagate BCD carry (none here)
+        MOV  R4, &out
+        MOV  #0, &0x01E0
+.org 0x1C00
+out:    .word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 1000)
+	if got := c.Bus.Peek16(img.MustSym("out")); got != 0x0100 {
+		t.Fatalf("DADD = %04X, want 0100", got)
+	}
+}
+
+func TestSymbolsListing(t *testing.T) {
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Label("zmain")
+	b.Equ("CONST", 7)
+	b.Label("aux")
+	got := b.Symbols()
+	if len(got) != 3 || got[0] != "CONST" || got[1] != "aux" || got[2] != "zmain" {
+		t.Fatalf("Symbols() = %v", got)
+	}
+}
+
+func TestParseIntoExistingBuilder(t *testing.T) {
+	// The runtime library path: Go-emitted code and parsed text share one
+	// builder and can reference each other's labels.
+	b := NewBuilder()
+	b.Org(0x4400)
+	b.Label("__start")
+	b.EmitRef(isa.Instr{Op: isa.CALL, Src: isa.Imm(0)}, Ref{Sym: "helper"}, NoRef)
+	b.Emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R12), Dst: isa.Abs(0x01E0)})
+	if err := Parse(`
+helper: MOV #41, R12
+        INC R12
+        RET
+`, b); err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runImage(t, img, 1000)
+	if c.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42", c.ExitCode)
+	}
+}

@@ -1,0 +1,315 @@
+package cc
+
+// Type kinds for the AmuletC type system. All scalars are 16-bit words
+// except char (8-bit); pointers are 16-bit addresses.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TVoid    TypeKind = iota
+	TInt              // 16-bit signed
+	TUint             // 16-bit unsigned
+	TChar             // 8-bit unsigned
+	TPtr              // pointer to Elem
+	TArray            // array of Elem, length Len
+	TFuncPtr          // pointer to function with Sig
+)
+
+// Type describes an AmuletC type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type    // TPtr, TArray element
+	Len  int      // TArray length
+	Sig  *FuncSig // TFuncPtr signature
+}
+
+// FuncSig is a function signature.
+type FuncSig struct {
+	Ret    *Type
+	Params []*Type
+}
+
+// Pre-built scalar types.
+var (
+	TypeVoid = &Type{Kind: TVoid}
+	TypeInt  = &Type{Kind: TInt}
+	TypeUint = &Type{Kind: TUint}
+	TypeChar = &Type{Kind: TChar}
+)
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TChar:
+		return 1
+	case TArray:
+		return t.Len * t.Elem.Size()
+	case TVoid:
+		return 0
+	default:
+		return 2
+	}
+}
+
+// IsScalar reports whether t fits a register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TInt, TUint, TChar, TPtr, TFuncPtr:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether t is an arithmetic integer type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case TInt, TUint, TChar:
+		return true
+	}
+	return false
+}
+
+// Signed reports whether comparisons on t use signed condition codes.
+func (t *Type) Signed() bool { return t.Kind == TInt }
+
+// String renders the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TUint:
+		return "uint"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return t.Elem.String() + "[]"
+	case TFuncPtr:
+		return "funcptr"
+	}
+	return "?"
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr, TArray:
+		return t.Elem.Equal(o.Elem)
+	case TFuncPtr:
+		if (t.Sig == nil) != (o.Sig == nil) {
+			return true // untyped funcptr matches any
+		}
+	}
+	return true
+}
+
+// ---- Expressions ----
+
+// Expr is the interface of all expression nodes.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+type exprBase struct{ Line, Col int }
+
+func (e exprBase) exprNode()       {}
+func (e exprBase) Pos() (int, int) { return e.Line, e.Col }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	exprBase
+	Val int32
+}
+
+// StrLit is a string literal (materialized in the app's data section).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// Ident is a variable or function reference.
+type Ident struct {
+	exprBase
+	Name string
+	// Sym is filled during analysis.
+	Sym *Symbol
+}
+
+// Unary is -x, !x, ~x, *p, &lv.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic, comparison, logical and shift operators.
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is lv = rhs (also compound forms like +=).
+type Assign struct {
+	exprBase
+	Op  string // "=", "+=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is lv++ / lv-- (statement position only).
+type IncDec struct {
+	exprBase
+	Op string // "++" or "--"
+	X  Expr
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	Arr Expr
+	Idx Expr
+}
+
+// Call is f(args) or (*fp)(args) / fp(args).
+type Call struct {
+	exprBase
+	Fun  Expr // Ident (direct / API) or arbitrary funcptr expression
+	Args []Expr
+}
+
+// ---- Statements ----
+
+// Stmt is the interface of statement nodes.
+type Stmt interface {
+	stmtNode()
+	Pos() (line, col int)
+}
+
+type stmtBase struct{ Line, Col int }
+
+func (s stmtBase) stmtNode()       {}
+func (s stmtBase) Pos() (int, int) { return s.Line, s.Col }
+
+// DeclStmt declares a local variable with optional initializer.
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Type *Type
+	Init Expr // nil if none
+	Sym  *Symbol
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is a for loop (any clause may be nil).
+type ForStmt struct {
+	stmtBase
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr // expression or IncDec/Assign wrapped as Expr
+	Body *Block
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// Block is { stmts }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// ---- Declarations ----
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name  string
+	Type  *Type
+	Init  []int32 // constant initializer words/bytes (flattened); nil = zero
+	Const bool
+	Line  int
+	Sym   *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Sig    *FuncSig
+	Params []string
+	Body   *Block
+	Line   int
+	Sym    *Symbol
+}
+
+// Unit is a parsed compilation unit.
+type Unit struct {
+	Name    string // unit (app) name, used as symbol prefix
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// ---- Symbols ----
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymGlobalVar SymKind = iota
+	SymLocalVar
+	SymParam
+	SymFuncName
+	SymAPIName
+)
+
+// Symbol is a named entity resolved during analysis.
+type Symbol struct {
+	Kind   SymKind
+	Name   string
+	Type   *Type
+	Sig    *FuncSig // functions
+	Offset int      // locals/params: frame offset (filled by codegen)
+	Unit   string   // owning unit
+}

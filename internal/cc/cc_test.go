@@ -1,0 +1,612 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"amuletiso/internal/cpu"
+)
+
+// compileRun builds a standalone program and runs it to halt, returning the
+// exit code (main's return value).
+func compileRun(t *testing.T, src string, mode Mode) uint16 {
+	t.Helper()
+	m := compileLoad(t, src, mode)
+	reason, f := m.Run(2_000_000)
+	if f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+	if reason != cpu.StopHalt {
+		t.Fatalf("stop = %v, want halt", reason)
+	}
+	return m.CPU.ExitCode
+}
+
+func compileLoad(t *testing.T, src string, mode Mode) *Machine {
+	t.Helper()
+	p, err := CompileProgram("test", src, ProgramOptions{Mode: mode, EnableMPU: mode == ModeMPU})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p.Load()
+}
+
+// expectError asserts compilation fails with a message containing want.
+func expectError(t *testing.T, src string, mode Mode, want string) {
+	t.Helper()
+	_, err := CompileProgram("test", src, ProgramOptions{Mode: mode})
+	if err == nil {
+		t.Fatalf("compile unexpectedly succeeded (want error containing %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+// ---- lexer ----
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 0x1F + 'a'; // comment
+/* block
+comment */ "str\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKeyword, TokIdent, TokPunct, TokNumber, TokPunct, TokChar, TokPunct, TokString, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+	if toks[3].Num != 0x1F || toks[5].Num != 'a' {
+		t.Error("literal values wrong")
+	}
+	if toks[7].Str != "str\n" {
+		t.Errorf("string = %q", toks[7].Str)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "\"unterminated", "'x", "0xZZ", "/* no end"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+// ---- parser / sema diagnostics ----
+
+func TestUnsupportedFeatures(t *testing.T) {
+	cases := map[string]string{
+		"int main() { goto x; }":             "goto",
+		"int main() { asm; }":                "assembly",
+		"struct s { int x; };":               "struct",
+		"int main() { float f; }":            "floating point",
+		"int main() { switch (1) {} }":       "switch",
+		"typedef int foo;":                   "typedef",
+		"int main() { int x; x = sizeof x;}": "sizeof",
+	}
+	for src, want := range cases {
+		expectError(t, src, ModeNoIsolation, want)
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"int main() { return y; }":                 "undefined identifier",
+		"int main() { foo(); }":                    "undefined function",
+		"int main() { int x; int x; return 0; }":   "redefinition",
+		"int x; int x;":                            "redefinition",
+		"void f() {} void f() {}":                  "redefinition",
+		"int main() { break; }":                    "break outside loop",
+		"int main() { 3 = 4; }":                    "not assignable",
+		"int main() { return amulet_read_hr(1); }": "argument",
+		"int amulet_read_hr() { return 0; }":       "API name",
+		"void f(int a) {} int main() { f(); }":     "argument",
+		"void f() {} int main() { return f(); }":   "cannot assign void",
+		"int main() { int a[4]; return a; }":       "cannot assign",
+		"int main() { while (1) { continue; } }":   "", // valid: no error
+	}
+	for src, want := range cases {
+		if want == "" {
+			if _, err := CompileProgram("test", src, ProgramOptions{}); err != nil {
+				t.Errorf("valid program rejected: %v\n%s", err, src)
+			}
+			continue
+		}
+		expectError(t, src, ModeNoIsolation, want)
+	}
+}
+
+func TestRestrictedDialectRules(t *testing.T) {
+	cases := map[string]string{
+		"int main() { int *p; return 0; }":                    "pointers are not allowed",
+		"int g; int main() { return *(&g); }":                 "dereference is not allowed",
+		"int f(int n) { return f(n); } int main(){return 0;}": "", // recursion flagged, not an error
+	}
+	for src, want := range cases {
+		_, err := CompileProgram("test", src, ProgramOptions{Mode: ModeFeatureLimited})
+		if want == "" {
+			if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("error %v does not contain %q", err, want)
+		}
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	src := `
+int f(int n) { if (n < 1) { return 0; } return g(n - 1); }
+int g(int n) { return f(n); }
+int main() { return f(3); }
+`
+	unit, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := Analyze(unit, DialectFull, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Recursive {
+		t.Fatal("mutual recursion not detected")
+	}
+	if chk.MaxStack != -1 {
+		t.Fatalf("MaxStack = %d, want -1 (unbounded)", chk.MaxStack)
+	}
+}
+
+func TestStackEstimate(t *testing.T) {
+	src := `
+int leaf(int a) { int x; int y; return a; }
+int mid(int a) { return leaf(a) + 1; }
+int main() { return mid(2); }
+`
+	unit, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := Analyze(unit, DialectFull, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Recursive {
+		t.Fatal("false recursion")
+	}
+	leaf := chk.Funcs["leaf"].MaxStack
+	mid := chk.Funcs["mid"].MaxStack
+	if leaf <= 0 || mid <= leaf {
+		t.Fatalf("stack estimates not monotone: leaf=%d mid=%d", leaf, mid)
+	}
+}
+
+// ---- end-to-end codegen, all modes ----
+
+// runAllModes checks that a program produces the same result under every
+// memory model that supports its dialect needs.
+func runAllModes(t *testing.T, src string, want uint16, restrictedOK bool) {
+	t.Helper()
+	modes := []Mode{ModeNoIsolation, ModeMPU, ModeSoftwareOnly}
+	if restrictedOK {
+		modes = append(modes, ModeFeatureLimited)
+	}
+	for _, m := range modes {
+		if got := compileRun(t, src, m); got != want {
+			t.Errorf("[%v] got %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int a = 7;
+    int b = 3;
+    return a + b * 10 - 6 / 2;   // 7 + 30 - 3 = 34
+}
+`, 34, true)
+}
+
+func TestDivisionAndModulo(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int a = 100;
+    uint u = 50000;
+    int r = 0;
+    r = r + a / 7;        // 14
+    r = r + a % 7;        // +2 = 16
+    r = r + (0 - a) / 7;  // -14 -> 2
+    r = r + (0 - a) % 7;  // -2 -> 0
+    if (u / 7 == 7142) { r = r + 100; }   // unsigned division
+    if (u % 7 == 6) { r = r + 1000; }
+    return r;             // 1100
+}
+`, 1100, true)
+}
+
+func TestShifts(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    uint x = 0x8000;
+    int s = -16;
+    int r = 0;
+    if (x >> 15 == 1) { r = r + 1; }       // logical shr
+    if (s >> 2 == -4) { r = r + 10; }      // arithmetic shr
+    if ((1 << 10) == 1024) { r = r + 100; }
+    return r;
+}
+`, 111, true)
+}
+
+func TestBitwiseAndLogical(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int a = 0xF0;
+    int b = 0x0F;
+    int r = 0;
+    if ((a & b) == 0) { r = r + 1; }
+    if ((a | b) == 0xFF) { r = r + 2; }
+    if ((a ^ 0xFF) == b) { r = r + 4; }
+    if (~0 == -1) { r = r + 8; }
+    if (!0 == 1 && !5 == 0) { r = r + 16; }
+    if (a > b || 0) { r = r + 32; }
+    return r;
+}
+`, 63, true)
+}
+
+func TestSignedUnsignedComparisons(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int s = -1;
+    uint u = 0xFFFF;
+    int r = 0;
+    if (s < 1) { r = r + 1; }       // signed
+    if (u > 1) { r = r + 10; }      // unsigned: 65535 > 1
+    if (s <= -1) { r = r + 100; }
+    if (u >= 0xFFFF) { r = r + 1000; }
+    return r;
+}
+`, 1111, true)
+}
+
+func TestControlFlow(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 1; i <= 10; i++) {
+        if (i == 5) { continue; }
+        if (i == 9) { break; }
+        sum = sum + i;
+    }
+    while (sum < 100) { sum = sum + sum; }
+    return sum;   // 1+2+3+4+6+7+8 = 31 -> 62 -> 124
+}
+`, 124, true)
+}
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	runAllModes(t, `
+int counter = 5;
+uint mask = 0xFF00;
+const int table[4] = { 10, 20, 30, 40 };
+char tag = 'x';
+int main() {
+    counter++;
+    counter += 4;
+    if (tag != 'x') { return 0; }
+    return counter + table[2];    // 10 + 30
+}
+`, 40, true)
+}
+
+func TestArrays(t *testing.T) {
+	runAllModes(t, `
+int buf[8];
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) { buf[i] = i * i; }
+    int local[4];
+    for (i = 0; i < 4; i++) { local[i] = buf[i + 2]; }
+    return local[0] + local[1] + local[2] + local[3];  // 4+9+16+25
+}
+`, 54, true)
+}
+
+func TestCharArraysAndBytes(t *testing.T) {
+	runAllModes(t, `
+char text[6] = "hello";
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 5; i++) { sum = sum + text[i]; }
+    text[0] = 'H';
+    if (text[0] != 72) { return 0; }
+    return sum;   // 104+101+108+108+111 = 532
+}
+`, 532, true)
+}
+
+func TestFunctionsAndCalls(t *testing.T) {
+	runAllModes(t, `
+int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return add3(x, x, 0); }
+int main() { return twice(add3(1, 2, 3)) + twice(4); }   // 12 + 8
+`, 20, true)
+}
+
+func TestFourArgCall(t *testing.T) {
+	runAllModes(t, `
+int mix(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+int main() { return mix(1, 2, 3, 4); }
+`, 1234, true)
+}
+
+func TestRecursionFib(t *testing.T) {
+	// Full dialect only: restricted rejects... no — recursion is allowed to
+	// parse but makes stack unbounded; the restricted dialect does not
+	// forbid recursion syntactically in our AFT, it just can't bound the
+	// stack. The paper's Amulet C disallows it; we enforce that only for
+	// apps built by the AFT, not bare programs.
+	src := `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }
+`
+	runAllModes(t, src, 55, false)
+}
+
+func TestPointers(t *testing.T) {
+	src := `
+int a = 3;
+int b = 4;
+void swap(int *x, int *y) {
+    int t = *x;
+    *x = *y;
+    *y = t;
+}
+int main() {
+    swap(&a, &b);
+    int local = 7;
+    int *p = &local;
+    *p = *p + 1;
+    return a * 100 + b * 10 + local;   // 4,3,8
+}
+`
+	runAllModes(t, src, 438, false)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	src := `
+int buf[5] = { 1, 2, 3, 4, 5 };
+int main() {
+    int *p = buf;
+    int sum = 0;
+    int i;
+    for (i = 0; i < 5; i++) {
+        sum = sum + *(p + i);
+    }
+    p = p + 2;
+    sum = sum + p[1];      // buf[3] = 4
+    char cbuf[4];
+    char *c = cbuf;
+    c[0] = 1;
+    c = c + 1;
+    *c = 2;
+    sum = sum + cbuf[0] + cbuf[1];
+    return sum;            // 15 + 4 + 3 = 22
+}
+`
+	runAllModes(t, src, 22, false)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	src := `
+int double_it(int x) { return x + x; }
+int triple_it(int x) { return x * 3; }
+int (*op)(int);
+int apply(int (*f)(int), int v) { return f(v); }
+int main() {
+    op = double_it;
+    int r = op(10);              // 20
+    op = &triple_it;
+    r = r + op(10);              // +30
+    r = r + apply(double_it, 3); // +6
+    return r;
+}
+`
+	runAllModes(t, src, 56, false)
+}
+
+func TestStringLiterals(t *testing.T) {
+	src := `
+int main() {
+    char *s = "AB";
+    return (*s) * 1000 + s[1];   // 65*1000 + 66
+}
+`
+	runAllModes(t, src, 65066, false)
+}
+
+func TestCompoundAssignInDepth(t *testing.T) {
+	runAllModes(t, `
+int g = 2;
+int main() {
+    int x = 10;
+    x += 5;       // 15
+    x -= 3;       // 12
+    x *= 4;       // 48
+    x /= 6;       // 8
+    x %= 5;       // 3
+    g *= x;       // 6
+    g &= 0xFF;
+    g |= 0x10;    // 0x16 = 22
+    g ^= 0x02;    // 0x14 = 20
+    return g * 10 + x;   // 203
+}
+`, 203, true)
+}
+
+func TestIncDecOnArrayElem(t *testing.T) {
+	runAllModes(t, `
+int a[3];
+int main() {
+    a[1] = 5;
+    a[1]++;
+    a[1]++;
+    a[1]--;
+    int i = 0;
+    i++;
+    return a[1] * 10 + i;   // 61
+}
+`, 61, true)
+}
+
+// ---- isolation check behaviour ----
+
+func TestMPUCheckCatchesLowPointer(t *testing.T) {
+	// Writing through a pointer below the app's data segment must hit the
+	// compiler's lower-bound check under both MPU and SoftwareOnly.
+	src := `
+int main() {
+    int *p = 0;
+    uint addr = 0x1C00;          // SRAM: OS territory
+    p = p + (addr >> 1);         // p = 0x1C00 as int*
+    *p = 0x1234;
+    return 1;
+}
+`
+	for _, m := range []Mode{ModeMPU, ModeSoftwareOnly} {
+		mach := compileLoad(t, src, m)
+		reason, f := mach.Run(1_000_000)
+		if f != nil {
+			t.Fatalf("[%v] hardware fault, want check-stub halt: %v", m, f)
+		}
+		if reason != cpu.StopHalt || mach.CPU.ExitCode != FaultExitCode {
+			t.Errorf("[%v] reason=%v exit=%04X, want fault exit", m, reason, mach.CPU.ExitCode)
+		}
+	}
+	// NoIsolation lets it through.
+	if got := compileRun(t, src, ModeNoIsolation); got != 1 {
+		t.Errorf("NoIsolation blocked the write: %d", got)
+	}
+}
+
+func TestSoftwareOnlyCatchesHighPointer(t *testing.T) {
+	src := `
+int x;
+int main() {
+    int *p = &x;
+    p = p + 0x2000;          // way past the data segment
+    *p = 1;
+    return 1;
+}
+`
+	mach := compileLoad(t, src, ModeSoftwareOnly)
+	reason, _ := mach.Run(1_000_000)
+	if reason != cpu.StopHalt || mach.CPU.ExitCode != FaultExitCode {
+		t.Fatalf("upper bound not caught: reason=%v exit=%04X", reason, mach.CPU.ExitCode)
+	}
+}
+
+func TestMPUHardwareCatchesHighPointer(t *testing.T) {
+	// MPU mode has no software upper check; the hardware MPU (seg3 no
+	// access) must fault instead.
+	src := `
+int x;
+int main() {
+    int *p = &x;
+    p = p + 0x2000;
+    *p = 1;
+    return 1;
+}
+`
+	mach := compileLoad(t, src, ModeMPU)
+	reason, f := mach.Run(1_000_000)
+	if reason != cpu.StopFault || f == nil || f.Violation == nil {
+		t.Fatalf("MPU did not fault: reason=%v f=%v", reason, f)
+	}
+	if mach.MPU.Violations() == 0 {
+		t.Fatal("violation not latched in MPU")
+	}
+}
+
+func TestFeatureLimitedBoundsHelper(t *testing.T) {
+	src := `
+int buf[4];
+int main() {
+    int i = 2;
+    buf[i] = 7;       // fine
+    i = 6;
+    buf[i] = 9;       // out of bounds -> helper faults
+    return 1;
+}
+`
+	mach := compileLoad(t, src, ModeFeatureLimited)
+	reason, _ := mach.Run(1_000_000)
+	if reason != cpu.StopHalt || mach.CPU.ExitCode != FaultExitCode {
+		t.Fatalf("bounds helper missed: reason=%v exit=%04X", reason, mach.CPU.ExitCode)
+	}
+	// Negative index too.
+	src2 := `
+int buf[4];
+int main() {
+    int i = -1;
+    buf[i] = 9;
+    return 1;
+}
+`
+	mach = compileLoad(t, src2, ModeFeatureLimited)
+	reason, _ = mach.Run(1_000_000)
+	if reason != cpu.StopHalt || mach.CPU.ExitCode != FaultExitCode {
+		t.Fatalf("negative index missed: reason=%v exit=%04X", reason, mach.CPU.ExitCode)
+	}
+}
+
+func TestConstantIndexCheckedAtCompileTime(t *testing.T) {
+	expectError(t, `
+int buf[4];
+int main() { buf[4] = 1; return 0; }
+`, ModeNoIsolation, "out of range")
+}
+
+func TestCheckOverheadOrdering(t *testing.T) {
+	// The same pointer-walking workload must cost
+	// NoIsolation < MPU < SoftwareOnly cycles (Table 1's ordering).
+	src := `
+int buf[32];
+int main() {
+    int i;
+    int j;
+    int s = 0;
+    for (j = 0; j < 10; j++) {
+        for (i = 0; i < 32; i++) { buf[i] = i; }
+        for (i = 0; i < 32; i++) { s = s + buf[i]; }
+    }
+    return s & 0x7FFF;
+}
+`
+	cycles := map[Mode]uint64{}
+	for _, m := range []Mode{ModeNoIsolation, ModeMPU, ModeSoftwareOnly, ModeFeatureLimited} {
+		mach := compileLoad(t, src, m)
+		if reason, f := mach.Run(10_000_000); reason != cpu.StopHalt || f != nil {
+			t.Fatalf("[%v] reason=%v f=%v", m, reason, f)
+		}
+		cycles[m] = mach.CPU.Cycles
+	}
+	if !(cycles[ModeNoIsolation] < cycles[ModeMPU] &&
+		cycles[ModeMPU] < cycles[ModeSoftwareOnly] &&
+		cycles[ModeSoftwareOnly] < cycles[ModeFeatureLimited]) {
+		t.Errorf("cycle ordering wrong: %v", cycles)
+	}
+}

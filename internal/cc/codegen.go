@@ -1,0 +1,1294 @@
+package cc
+
+import (
+	"fmt"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/asm"
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+)
+
+// Mode selects the isolation instrumentation the code generator emits around
+// computed memory accesses — the four memory models of the paper's Table 1.
+type Mode int
+
+// Isolation modes.
+const (
+	// ModeNoIsolation emits no checks (the baseline).
+	ModeNoIsolation Mode = iota
+	// ModeFeatureLimited is original Amulet C: the restricted dialect plus
+	// a bounds-check helper call on each dynamically-indexed array access.
+	ModeFeatureLimited
+	// ModeSoftwareOnly emits lower AND upper bound compares on every
+	// computed data access, and both code-bound compares on indirect calls
+	// and returns.
+	ModeSoftwareOnly
+	// ModeMPU emits only the lower-bound compare (the MPU enforces the
+	// upper bounds in hardware) — the paper's contribution.
+	ModeMPU
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeNoIsolation:
+		return "NoIsolation"
+	case ModeFeatureLimited:
+		return "FeatureLimited"
+	case ModeSoftwareOnly:
+		return "SoftwareOnly"
+	case ModeMPU:
+		return "MPU"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Dialect returns the language dialect implied by the mode.
+func (m Mode) Dialect() Dialect {
+	if m == ModeFeatureLimited {
+		return DialectRestricted
+	}
+	return DialectFull
+}
+
+// Modes lists all four memory models in the paper's column order.
+var Modes = []Mode{ModeNoIsolation, ModeFeatureLimited, ModeMPU, ModeSoftwareOnly}
+
+// expression evaluation registers (callee-saved, so values survive calls)
+const (
+	firstEvalReg = isa.R4
+	numEvalRegs  = 8
+)
+
+// GenOptions selects optional hardening features beyond the paper's
+// prototype (its §5 future-work list).
+type GenOptions struct {
+	// ShadowReturnStack maintains a shadow copy of every return address in
+	// the InfoMem segment (the paper's footnote 3): prologues push the
+	// return address to the shadow stack, epilogues compare it against the
+	// on-stack value and fault on mismatch. The harness must define the
+	// ShadowSPSym word (initialized to ShadowSPSym+2) in InfoMem.
+	ShadowReturnStack bool
+}
+
+// ShadowSPSym names the shadow-stack pointer word, the first word of the
+// shadow region in InfoMem.
+const ShadowSPSym = "os.shadow_sp"
+
+// Generate emits the code for all functions of a checked unit into b. The
+// caller (the AFT, or CompileProgram for standalone builds) is responsible
+// for Org/labels around the emitted code and for emitting data afterwards
+// with GenerateData. The unit's boundary symbols (abi.SymDataLo etc.) and
+// fault stub (abi.SymFault) must exist in the final link.
+func Generate(chk *Checked, mode Mode, b *asm.Builder) error {
+	return GenerateWithOptions(chk, mode, GenOptions{}, b)
+}
+
+// GenerateWithOptions is Generate with hardening extensions enabled.
+func GenerateWithOptions(chk *Checked, mode Mode, opts GenOptions, b *asm.Builder) error {
+	if mode.Dialect() != chk.Dialect {
+		return fmt.Errorf("cc: mode %v needs dialect %v, unit %q was analyzed as %v",
+			mode, mode.Dialect(), chk.Unit.Name, chk.Dialect)
+	}
+	for _, fn := range chk.Unit.Funcs {
+		g := &generator{chk: chk, mode: mode, unit: chk.Unit.Name, opts: opts}
+		if err := g.genFunc(fn, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateData emits the unit's globals, string literals and constant
+// initializers. Call with the builder positioned in the unit's data section.
+func GenerateData(chk *Checked, b *asm.Builder) error {
+	unit := chk.Unit.Name
+	for _, g := range chk.Unit.Globals {
+		b.Align(2)
+		b.Label(abi.SymGlobal(unit, g.Name))
+		switch {
+		case g.Type.Kind == TArray && g.Type.Elem.Kind == TChar:
+			data := make([]byte, g.Type.Len)
+			for i, v := range g.Init {
+				data[i] = byte(v)
+			}
+			b.Bytes(data)
+		case g.Type.Kind == TArray:
+			for i := 0; i < g.Type.Len; i++ {
+				var v int32
+				if i < len(g.Init) {
+					v = g.Init[i]
+				}
+				b.Word(uint16(v))
+			}
+		case g.Type.Kind == TChar:
+			v := byte(0)
+			if len(g.Init) > 0 {
+				v = byte(g.Init[0])
+			}
+			b.Bytes([]byte{v})
+		default:
+			var v int32
+			if len(g.Init) > 0 {
+				v = g.Init[0]
+			}
+			b.Word(uint16(v))
+		}
+	}
+	for i, s := range chk.Strings {
+		b.Align(2)
+		b.Label(strLabel(unit, i))
+		b.Bytes(append([]byte(s), 0))
+	}
+	return nil
+}
+
+func strLabel(unit string, i int) string {
+	return abi.SymGlobal(unit, fmt.Sprintf("__str%d", i))
+}
+
+type generator struct {
+	chk  *Checked
+	mode Mode
+	unit string
+	opts GenOptions
+	b    *asm.Builder
+
+	fn      *FuncDecl
+	info    *FuncInfo
+	offsets map[*Symbol]int
+	frame   int
+
+	depth    int // current expression-register stack depth
+	maxDepth int // high-water mark
+	saved    int // registers saved by the prologue (pass 2)
+	pushAdj  int // words currently pushed for argument staging
+
+	labelN    int
+	retLabel  string
+	loopCont  []string
+	loopBreak []string
+}
+
+// reg returns the i-th expression register.
+func reg(i int) isa.Reg { return firstEvalReg + isa.Reg(i) }
+
+func (g *generator) alloc() (isa.Reg, error) {
+	if g.depth >= numEvalRegs {
+		return 0, errf(g.fn.Line, 1, "expression too complex in %s (needs more than %d registers)",
+			g.fn.Name, numEvalRegs)
+	}
+	r := reg(g.depth)
+	g.depth++
+	if g.depth > g.maxDepth {
+		g.maxDepth = g.depth
+	}
+	return r, nil
+}
+
+func (g *generator) freeTo(d int) { g.depth = d }
+
+func (g *generator) newLabel(tag string) string {
+	g.labelN++
+	return fmt.Sprintf("%s.%s.L%d_%s", g.unit, g.fn.Name, g.labelN, tag)
+}
+
+// emit helpers
+
+func (g *generator) emit(in isa.Instr) { g.b.Emit(in) }
+
+func (g *generator) emitRef(in isa.Instr, src, dst asm.Ref) { g.b.EmitRef(in, src, dst) }
+
+// movImm loads a constant into a register.
+func (g *generator) movImm(v uint16, r isa.Reg) {
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.Imm(v), Dst: isa.RegOp(r)})
+}
+
+// movSym loads a symbol's address into a register.
+func (g *generator) movSym(sym string, r isa.Reg) {
+	g.emitRef(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.RegOp(r)},
+		asm.Ref{Sym: sym}, asm.NoRef)
+}
+
+// localOff returns the current SP-relative offset of a local, accounting for
+// words pushed during argument staging.
+func (g *generator) localOff(sym *Symbol) uint16 {
+	return uint16(g.offsets[sym] + 2*g.pushAdj)
+}
+
+// genFunc compiles one function. Generation runs twice: a dry pass to learn
+// how many expression registers the body needs (so the prologue saves
+// exactly those), then the real pass.
+func (g *generator) genFunc(fn *FuncDecl, real *asm.Builder) error {
+	dry := *g // shallow copy shares chk/mode/unit
+	dry.b = asm.NewBuilder()
+	if err := dry.genFuncPass(fn); err != nil {
+		return err
+	}
+	g.b = real
+	g.saved = dry.maxDepth
+	g.labelN = 0
+	return g.genFuncPass(fn)
+}
+
+func (g *generator) genFuncPass(fn *FuncDecl) error {
+	g.fn = fn
+	g.info = g.chk.Funcs[fn.Name]
+	g.depth = 0
+	g.pushAdj = 0
+	g.retLabel = ""
+	g.loopBreak = nil
+	g.loopCont = nil
+
+	// Frame layout: every local/param gets a word-aligned slot, in
+	// declaration order, at increasing offsets from SP.
+	g.offsets = make(map[*Symbol]int)
+	off := 0
+	for _, l := range g.info.Locals {
+		g.offsets[l] = off
+		off += (l.Type.Size() + 1) &^ 1
+	}
+	g.frame = off
+
+	g.b.Label(abi.SymFunc(g.unit, fn.Name))
+	// Prologue: save the expression registers this body uses.
+	for i := 0; i < g.saved; i++ {
+		g.emit(isa.Instr{Op: isa.PUSH, Src: isa.RegOp(reg(i))})
+	}
+	if g.frame > 0 {
+		g.emit(isa.Instr{Op: isa.SUB, Src: isa.Imm(uint16(g.frame)), Dst: isa.RegOp(isa.SP)})
+	}
+	// Spill register parameters into their slots.
+	for i := range fn.Sig.Params {
+		if i >= abi.MaxRegArgs {
+			return errf(fn.Line, 1, "%s: more than %d parameters are not supported", fn.Name, abi.MaxRegArgs)
+		}
+		sym := g.info.Locals[i]
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R12 + isa.Reg(i)),
+			Dst: isa.Idx(uint16(g.offsets[sym]), isa.SP)})
+	}
+	if g.opts.ShadowReturnStack {
+		g.emitShadowPush()
+	}
+
+	g.retLabel = g.newLabel("ret")
+	if err := g.genBlock(fn.Body); err != nil {
+		return err
+	}
+	// Fall off the end: void functions return; value functions return 0.
+	if fn.Sig.Ret.Kind != TVoid {
+		g.movImm(0, isa.R12)
+	}
+
+	g.b.Label(g.retLabel)
+	if g.frame > 0 {
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.Imm(uint16(g.frame)), Dst: isa.RegOp(isa.SP)})
+	}
+	for i := g.saved - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.IndInc(isa.SP), Dst: isa.RegOp(reg(i))}) // POP
+	}
+	if g.opts.ShadowReturnStack {
+		g.emitShadowCheck()
+	}
+	g.emitReturnCheck()
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.IndInc(isa.SP), Dst: isa.RegOp(isa.PC)}) // RET
+	return nil
+}
+
+// emitShadowPush copies the caller's return address onto the InfoMem shadow
+// stack. It runs after parameter spill, so R13/R14 are free scratch. The
+// return address sits above the frame and the saved registers.
+func (g *generator) emitShadowPush() {
+	retOff := uint16(g.frame + 2*g.saved)
+	g.emitRef(isa.Instr{Op: isa.MOV, Src: isa.Abs(0), Dst: isa.RegOp(isa.R13)},
+		asm.Ref{Sym: ShadowSPSym}, asm.NoRef)
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.Idx(retOff, isa.SP), Dst: isa.RegOp(isa.R14)})
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R14), Dst: isa.Idx(0, isa.R13)})
+	g.emitRef(isa.Instr{Op: isa.ADD, Src: isa.Imm(2), Dst: isa.Abs(0)},
+		asm.NoRef, asm.Ref{Sym: ShadowSPSym})
+}
+
+// emitShadowCheck pops the shadow stack and faults if the on-stack return
+// address no longer matches — detecting stack smashing even when bound
+// checks are disabled (the defense the paper's §5 anticipates).
+func (g *generator) emitShadowCheck() {
+	g.emitRef(isa.Instr{Op: isa.SUB, Src: isa.Imm(2), Dst: isa.Abs(0)},
+		asm.NoRef, asm.Ref{Sym: ShadowSPSym})
+	g.emitRef(isa.Instr{Op: isa.MOV, Src: isa.Abs(0), Dst: isa.RegOp(isa.R13)},
+		asm.Ref{Sym: ShadowSPSym}, asm.NoRef)
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.Ind(isa.R13), Dst: isa.RegOp(isa.R13)})
+	g.emit(isa.Instr{Op: isa.CMP, Src: isa.Ind(isa.SP), Dst: isa.RegOp(isa.R13)})
+	ok := g.newLabel("shok")
+	g.b.Branch(isa.JEQ, ok)
+	g.emitFaultJump()
+	g.b.Label(ok)
+}
+
+// emitReturnCheck bounds-checks the return address sitting at @SP — the
+// paper's defense against stack-smashed returns. MPU mode needs only the
+// lower bound (jumping above the app's code hits a non-executable MPU
+// segment); SoftwareOnly checks both; the other modes emit nothing.
+func (g *generator) emitReturnCheck() {
+	if g.mode != ModeMPU && g.mode != ModeSoftwareOnly {
+		return
+	}
+	// R13 is caller-saved scratch (R12 may hold the return value). The
+	// lower bound is the OS code base: the outermost frame of a handler
+	// legitimately returns into the OS dispatch veneer below the app.
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.Ind(isa.SP), Dst: isa.RegOp(isa.R13)})
+	g.emitBoundCheckLow(isa.R13, abi.SymOSCodeLo)
+	if g.mode == ModeSoftwareOnly {
+		g.emitBoundCheckHigh(isa.R13, abi.SymCodeHi(g.unit))
+	}
+}
+
+// emitBoundCheckLow faults when r < bound (the lower-bound compare that both
+// the MPU and SoftwareOnly models need, Figure 1's "if (address < Di) FAULT").
+func (g *generator) emitBoundCheckLow(r isa.Reg, boundSym string) {
+	ok := g.newLabel("cklo")
+	g.emitRef(isa.Instr{Op: isa.CMP, Src: isa.Imm(0), Dst: isa.RegOp(r)},
+		asm.Ref{Sym: boundSym}, asm.NoRef)
+	g.b.Branch(isa.JC, ok) // r >= bound
+	g.emitFaultJump()
+	g.b.Label(ok)
+}
+
+// emitBoundCheckHigh faults when r >= bound (SoftwareOnly's upper compare).
+func (g *generator) emitBoundCheckHigh(r isa.Reg, boundSym string) {
+	ok := g.newLabel("ckhi")
+	g.emitRef(isa.Instr{Op: isa.CMP, Src: isa.Imm(0), Dst: isa.RegOp(r)},
+		asm.Ref{Sym: boundSym}, asm.NoRef)
+	g.b.Branch(isa.JNC, ok) // r < bound
+	g.emitFaultJump()
+	g.b.Label(ok)
+}
+
+// emitFaultJump branches to the unit's fault stub.
+func (g *generator) emitFaultJump() {
+	g.emitRef(isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.RegOp(isa.PC)},
+		asm.Ref{Sym: abi.SymFault(g.unit)}, asm.NoRef)
+}
+
+// emitDataCheck instruments a computed data address in r according to the
+// isolation mode. This is the paper's central code-insertion point.
+func (g *generator) emitDataCheck(r isa.Reg) {
+	switch g.mode {
+	case ModeMPU:
+		g.emitBoundCheckLow(r, abi.SymDataLo(g.unit))
+	case ModeSoftwareOnly:
+		g.emitBoundCheckLow(r, abi.SymDataLo(g.unit))
+		g.emitBoundCheckHigh(r, abi.SymDataHi(g.unit))
+	}
+}
+
+// emitExecCheck instruments an indirect call target in r.
+func (g *generator) emitExecCheck(r isa.Reg) {
+	switch g.mode {
+	case ModeMPU:
+		g.emitBoundCheckLow(r, abi.SymCodeLo(g.unit))
+	case ModeSoftwareOnly:
+		g.emitBoundCheckLow(r, abi.SymCodeLo(g.unit))
+		g.emitBoundCheckHigh(r, abi.SymCodeHi(g.unit))
+	}
+}
+
+// emitIndexBoundsHelper emits the Feature-Limited helper call: index in r,
+// array length as an immediate. Clobbers R13/R14 (caller-saved).
+func (g *generator) emitIndexBoundsHelper(r isa.Reg, length int) {
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(r), Dst: isa.RegOp(isa.R13)})
+	g.movImm(uint16(length), isa.R14)
+	g.emitRef(isa.Instr{Op: isa.CALL, Src: isa.Imm(0)},
+		asm.Ref{Sym: abi.SymRT("bounds")}, asm.NoRef)
+}
+
+// ---- statements ----
+
+func (g *generator) genBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) genStmt(s Stmt) error {
+	base := g.depth
+	defer g.freeTo(base)
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+
+	case *DeclStmt:
+		if st.Init == nil {
+			return nil
+		}
+		r, err := g.genExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		g.storeScalar(r, st.Sym, st.Type)
+		return nil
+
+	case *ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+
+	case *ReturnStmt:
+		if st.X != nil {
+			r, err := g.genExpr(st.X)
+			if err != nil {
+				return err
+			}
+			g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(r), Dst: isa.RegOp(isa.R12)})
+		}
+		g.b.Branch(isa.JMP, g.retLabel)
+		return nil
+
+	case *IfStmt:
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		target := endL
+		if st.Else != nil {
+			target = elseL
+		}
+		if err := g.genCondJump(st.Cond, "", target); err != nil {
+			return err
+		}
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			g.b.Branch(isa.JMP, endL)
+			g.b.Label(elseL)
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+		}
+		g.b.Label(endL)
+		return nil
+
+	case *WhileStmt:
+		top := g.newLabel("while")
+		end := g.newLabel("endwhile")
+		g.b.Label(top)
+		if err := g.genCondJump(st.Cond, "", end); err != nil {
+			return err
+		}
+		g.loopCont = append(g.loopCont, top)
+		g.loopBreak = append(g.loopBreak, end)
+		err := g.genBlock(st.Body)
+		g.loopCont = g.loopCont[:len(g.loopCont)-1]
+		g.loopBreak = g.loopBreak[:len(g.loopBreak)-1]
+		if err != nil {
+			return err
+		}
+		g.b.Branch(isa.JMP, top)
+		g.b.Label(end)
+		return nil
+
+	case *ForStmt:
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := g.newLabel("for")
+		cont := g.newLabel("forpost")
+		end := g.newLabel("endfor")
+		g.b.Label(top)
+		if st.Cond != nil {
+			if err := g.genCondJump(st.Cond, "", end); err != nil {
+				return err
+			}
+		}
+		g.loopCont = append(g.loopCont, cont)
+		g.loopBreak = append(g.loopBreak, end)
+		err := g.genBlock(st.Body)
+		g.loopCont = g.loopCont[:len(g.loopCont)-1]
+		g.loopBreak = g.loopBreak[:len(g.loopBreak)-1]
+		if err != nil {
+			return err
+		}
+		g.b.Label(cont)
+		if st.Post != nil {
+			d := g.depth
+			if _, err := g.genExpr(st.Post); err != nil {
+				return err
+			}
+			g.freeTo(d)
+		}
+		g.b.Branch(isa.JMP, top)
+		g.b.Label(end)
+		return nil
+
+	case *BreakStmt:
+		g.b.Branch(isa.JMP, g.loopBreak[len(g.loopBreak)-1])
+		return nil
+
+	case *ContinueStmt:
+		g.b.Branch(isa.JMP, g.loopCont[len(g.loopCont)-1])
+		return nil
+	}
+	return fmt.Errorf("cc: internal: unhandled statement %T", s)
+}
+
+// storeScalar stores register r into a named local/param/global of type t.
+func (g *generator) storeScalar(r isa.Reg, sym *Symbol, t *Type) {
+	byteOp := t.Kind == TChar
+	if sym.Kind == SymGlobalVar {
+		g.emitRef(isa.Instr{Op: isa.MOV, Byte: byteOp, Src: isa.RegOp(r), Dst: isa.Abs(0)},
+			asm.NoRef, asm.Ref{Sym: abi.SymGlobal(g.unit, sym.Name)})
+		return
+	}
+	g.emit(isa.Instr{Op: isa.MOV, Byte: byteOp, Src: isa.RegOp(r),
+		Dst: isa.Idx(g.localOff(sym), isa.SP)})
+}
+
+// ---- conditions ----
+
+// genCondJump evaluates cond and jumps to trueL when it holds (if trueL is
+// non-empty) or to falseL when it does not. Exactly one label is taken as a
+// jump target; fallthrough handles the other.
+func (g *generator) genCondJump(cond Expr, trueL, falseL string) error {
+	base := g.depth
+	defer g.freeTo(base)
+	switch x := cond.(type) {
+	case *Unary:
+		if x.Op == "!" {
+			return g.genCondJump(x.X, falseL, trueL)
+		}
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			if trueL == "" {
+				// false -> falseL
+				if err := g.genCondJump(x.L, "", falseL); err != nil {
+					return err
+				}
+				return g.genCondJump(x.R, "", falseL)
+			}
+			stay := g.newLabel("and")
+			if err := g.genCondJump(x.L, "", stay); err != nil {
+				return err
+			}
+			if err := g.genCondJump(x.R, trueL, ""); err != nil {
+				return err
+			}
+			g.b.Label(stay)
+			return nil
+		case "||":
+			if trueL != "" {
+				if err := g.genCondJump(x.L, trueL, ""); err != nil {
+					return err
+				}
+				return g.genCondJump(x.R, trueL, "")
+			}
+			stay := g.newLabel("or")
+			if err := g.genCondJump(x.L, stay, ""); err != nil {
+				return err
+			}
+			if err := g.genCondJump(x.R, "", falseL); err != nil {
+				return err
+			}
+			g.b.Label(stay)
+			return nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			return g.genCompare(x, trueL, falseL)
+		}
+	}
+	// Generic: evaluate and test against zero.
+	r, err := g.genExpr(cond)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.CMP, Src: isa.Imm(0), Dst: isa.RegOp(r)})
+	if trueL != "" {
+		g.b.Branch(isa.JNE, trueL)
+	} else {
+		g.b.Branch(isa.JEQ, falseL)
+	}
+	return nil
+}
+
+// genCompare emits CMP and the right conditional jump for a comparison,
+// honoring signedness.
+func (g *generator) genCompare(x *Binary, trueL, falseL string) error {
+	base := g.depth
+	defer g.freeTo(base)
+	lr, err := g.genExpr(x.L)
+	if err != nil {
+		return err
+	}
+	rr, err := g.genExpr(x.R)
+	if err != nil {
+		return err
+	}
+	// CMP src, dst computes dst - src; we want L - R.
+	g.emit(isa.Instr{Op: isa.CMP, Src: isa.RegOp(rr), Dst: isa.RegOp(lr)})
+
+	lt := g.chk.Types[x.L]
+	rt := g.chk.Types[x.R]
+	signed := lt.Signed() && rt.Signed()
+
+	op := x.Op
+	target := trueL
+	if trueL == "" {
+		op = negateCmp(op)
+		target = falseL
+	}
+	var jop isa.Op
+	switch op {
+	case "==":
+		jop = isa.JEQ
+	case "!=":
+		jop = isa.JNE
+	case "<":
+		if signed {
+			jop = isa.JL
+		} else {
+			jop = isa.JNC
+		}
+	case ">=":
+		if signed {
+			jop = isa.JGE
+		} else {
+			jop = isa.JC
+		}
+	case ">", "<=":
+		// Re-compare with swapped operands: L > R == R < L.
+		g.emit(isa.Instr{Op: isa.CMP, Src: isa.RegOp(lr), Dst: isa.RegOp(rr)})
+		if op == ">" {
+			if signed {
+				jop = isa.JL
+			} else {
+				jop = isa.JNC
+			}
+		} else {
+			if signed {
+				jop = isa.JGE
+			} else {
+				jop = isa.JC
+			}
+		}
+	}
+	g.b.Branch(jop, target)
+	return nil
+}
+
+func negateCmp(op string) string {
+	switch op {
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	case "<":
+		return ">="
+	case ">=":
+		return "<"
+	case ">":
+		return "<="
+	case "<=":
+		return ">"
+	}
+	return op
+}
+
+// ---- expressions ----
+
+// genExpr evaluates e into a freshly allocated expression register.
+func (g *generator) genExpr(e Expr) (isa.Reg, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		r, err := g.alloc()
+		if err != nil {
+			return 0, err
+		}
+		g.movImm(uint16(x.Val), r)
+		return r, nil
+
+	case *StrLit:
+		r, err := g.alloc()
+		if err != nil {
+			return 0, err
+		}
+		g.movSym(strLabel(g.unit, g.strIndex(x.Val)), r)
+		return r, nil
+
+	case *Ident:
+		return g.genIdent(x)
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Binary:
+		return g.genBinary(x)
+
+	case *Assign:
+		return g.genAssign(x)
+
+	case *IncDec:
+		return g.genIncDec(x)
+
+	case *Index:
+		t := g.chk.Types[x]
+		addr, err := g.genAddr(x)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.MOV, Byte: t.Kind == TChar,
+			Src: isa.Ind(addr), Dst: isa.RegOp(addr)})
+		return addr, nil
+
+	case *Call:
+		return g.genCall(x)
+	}
+	return 0, fmt.Errorf("cc: internal: unhandled expression %T", e)
+}
+
+func (g *generator) strIndex(s string) int {
+	for i, v := range g.chk.Strings {
+		if v == s {
+			return i
+		}
+	}
+	return 0
+}
+
+func (g *generator) genIdent(x *Ident) (isa.Reg, error) {
+	r, err := g.alloc()
+	if err != nil {
+		return 0, err
+	}
+	sym := x.Sym
+	switch sym.Kind {
+	case SymFuncName:
+		g.movSym(abi.SymFunc(g.unit, sym.Name), r)
+		return r, nil
+	case SymGlobalVar:
+		if sym.Type.Kind == TArray {
+			g.movSym(abi.SymGlobal(g.unit, sym.Name), r) // array decays to address
+			return r, nil
+		}
+		g.emitRef(isa.Instr{Op: isa.MOV, Byte: sym.Type.Kind == TChar,
+			Src: isa.Abs(0), Dst: isa.RegOp(r)},
+			asm.Ref{Sym: abi.SymGlobal(g.unit, sym.Name)}, asm.NoRef)
+		return r, nil
+	default: // local or param
+		if sym.Type.Kind == TArray {
+			g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.SP), Dst: isa.RegOp(r)})
+			if off := g.localOff(sym); off != 0 {
+				g.emit(isa.Instr{Op: isa.ADD, Src: isa.Imm(off), Dst: isa.RegOp(r)})
+			}
+			return r, nil
+		}
+		g.emit(isa.Instr{Op: isa.MOV, Byte: sym.Type.Kind == TChar,
+			Src: isa.Idx(g.localOff(sym), isa.SP), Dst: isa.RegOp(r)})
+		return r, nil
+	}
+}
+
+func (g *generator) genUnary(x *Unary) (isa.Reg, error) {
+	switch x.Op {
+	case "-":
+		r, err := g.genExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.XOR, Src: isa.Imm(0xFFFF), Dst: isa.RegOp(r)})
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.Imm(1), Dst: isa.RegOp(r)})
+		return r, nil
+	case "~":
+		r, err := g.genExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.XOR, Src: isa.Imm(0xFFFF), Dst: isa.RegOp(r)})
+		return r, nil
+	case "!":
+		r, err := g.genExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		one := g.newLabel("not1")
+		end := g.newLabel("notend")
+		g.emit(isa.Instr{Op: isa.CMP, Src: isa.Imm(0), Dst: isa.RegOp(r)})
+		g.b.Branch(isa.JEQ, one)
+		g.movImm(0, r)
+		g.b.Branch(isa.JMP, end)
+		g.b.Label(one)
+		g.movImm(1, r)
+		g.b.Label(end)
+		return r, nil
+	case "*":
+		t := g.chk.Types[x]
+		r, err := g.genExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		g.emitDataCheck(r)
+		g.emit(isa.Instr{Op: isa.MOV, Byte: t.Kind == TChar,
+			Src: isa.Ind(r), Dst: isa.RegOp(r)})
+		return r, nil
+	case "&":
+		if id, ok := x.X.(*Ident); ok && id.Sym != nil && id.Sym.Kind == SymFuncName {
+			r, err := g.alloc()
+			if err != nil {
+				return 0, err
+			}
+			g.movSym(abi.SymFunc(g.unit, id.Sym.Name), r)
+			return r, nil
+		}
+		return g.genAddr(x.X)
+	}
+	line, col := x.Pos()
+	return 0, errf(line, col, "internal: unary %s", x.Op)
+}
+
+// genAddr evaluates the address of an lvalue into a register, emitting the
+// isolation checks appropriate to the access.
+func (g *generator) genAddr(e Expr) (isa.Reg, error) {
+	switch x := e.(type) {
+	case *Ident:
+		r, err := g.alloc()
+		if err != nil {
+			return 0, err
+		}
+		sym := x.Sym
+		if sym.Kind == SymGlobalVar {
+			g.movSym(abi.SymGlobal(g.unit, sym.Name), r)
+			return r, nil
+		}
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.SP), Dst: isa.RegOp(r)})
+		if off := g.localOff(sym); off != 0 {
+			g.emit(isa.Instr{Op: isa.ADD, Src: isa.Imm(off), Dst: isa.RegOp(r)})
+		}
+		return r, nil
+
+	case *Unary:
+		if x.Op != "*" {
+			break
+		}
+		r, err := g.genExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		g.emitDataCheck(r)
+		return r, nil
+
+	case *Index:
+		return g.genIndexAddr(x)
+	}
+	line, col := e.Pos()
+	return 0, errf(line, col, "expression is not addressable")
+}
+
+// genIndexAddr computes &arr[idx] with mode-appropriate checking:
+//   - constant index into a true array: verified at compile time, no code;
+//   - FeatureLimited: bounds-helper call on the index;
+//   - MPU / SoftwareOnly: bound compare(s) on the final address.
+func (g *generator) genIndexAddr(x *Index) (isa.Reg, error) {
+	arrT := g.chk.Types[x.Arr]
+	elem := arrT.Elem
+	line, col := x.Pos()
+
+	// Fast path: constant index into a known-length array.
+	if lit, isLit := x.Idx.(*NumLit); isLit && arrT.Kind == TArray {
+		if lit.Val < 0 || int(lit.Val) >= arrT.Len {
+			return 0, errf(line, col, "index %d out of range for array of %d", lit.Val, arrT.Len)
+		}
+		base, err := g.genArrayBase(x.Arr)
+		if err != nil {
+			return 0, err
+		}
+		off := uint16(int(lit.Val) * elem.Size())
+		if off != 0 {
+			g.emit(isa.Instr{Op: isa.ADD, Src: isa.Imm(off), Dst: isa.RegOp(base)})
+		}
+		return base, nil
+	}
+
+	// Evaluate index.
+	idx, err := g.genExpr(x.Idx)
+	if err != nil {
+		return 0, err
+	}
+	if g.mode == ModeFeatureLimited {
+		if arrT.Kind != TArray {
+			return 0, errf(line, col, "internal: pointer index in restricted dialect")
+		}
+		g.emitIndexBoundsHelper(idx, arrT.Len)
+	}
+	if elem.Size() == 2 {
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(idx), Dst: isa.RegOp(idx)}) // idx *= 2
+	}
+	base, err := g.genArrayBase(x.Arr)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(idx), Dst: isa.RegOp(base)})
+	// base now holds the final address; release idx (it is below base).
+	g.freeTo(g.depth - 1)
+	// Move result down into idx's slot to keep the stack discipline.
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(base), Dst: isa.RegOp(idx)})
+	if g.mode == ModeMPU || g.mode == ModeSoftwareOnly {
+		g.emitDataCheck(idx)
+	}
+	return idx, nil
+}
+
+// genArrayBase loads the base address of the indexed object (array decay or
+// pointer value).
+func (g *generator) genArrayBase(arr Expr) (isa.Reg, error) {
+	t := g.chk.Types[arr]
+	if t.Kind == TArray {
+		return g.genAddr(arr)
+	}
+	return g.genExpr(arr) // pointer value
+}
+
+func (g *generator) genAssign(x *Assign) (isa.Reg, error) {
+	t := g.chk.Types[x.LHS]
+	byteOp := t.Kind == TChar
+
+	switch x.Op {
+	case "*=", "/=", "%=":
+		return g.genMulAssign(x)
+	}
+
+	rhs, err := g.genExpr(x.RHS)
+	if err != nil {
+		return 0, err
+	}
+	// Pointer compound stepping scales the integer side.
+	if t.Kind == TPtr && (x.Op == "+=" || x.Op == "-=") && t.Elem.Size() == 2 {
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(rhs), Dst: isa.RegOp(rhs)})
+	}
+
+	var op isa.Op
+	switch x.Op {
+	case "=":
+		op = isa.MOV
+	case "+=":
+		op = isa.ADD
+	case "-=":
+		op = isa.SUB
+	case "&=":
+		op = isa.AND
+	case "|=":
+		op = isa.BIS
+	case "^=":
+		op = isa.XOR
+	}
+
+	// Direct forms for plain variables.
+	if id, ok := x.LHS.(*Ident); ok {
+		sym := id.Sym
+		if sym.Kind == SymGlobalVar {
+			g.emitRef(isa.Instr{Op: op, Byte: byteOp, Src: isa.RegOp(rhs), Dst: isa.Abs(0)},
+				asm.NoRef, asm.Ref{Sym: abi.SymGlobal(g.unit, sym.Name)})
+			return rhs, nil
+		}
+		g.emit(isa.Instr{Op: op, Byte: byteOp, Src: isa.RegOp(rhs),
+			Dst: isa.Idx(g.localOff(sym), isa.SP)})
+		return rhs, nil
+	}
+	addr, err := g.genAddr(x.LHS)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: op, Byte: byteOp, Src: isa.RegOp(rhs), Dst: isa.Idx(0, addr)})
+	g.freeTo(g.depth - 1) // release addr; result stays in rhs
+	return rhs, nil
+}
+
+// genMulAssign lowers x *= y (and /=, %=) through the helper calls.
+// The left-hand side is evaluated twice (value, then address); index
+// expressions with side effects are therefore evaluated twice — a documented
+// dialect caveat shared with the original Amulet toolchain.
+func (g *generator) genMulAssign(x *Assign) (isa.Reg, error) {
+	t := g.chk.Types[x.LHS]
+	cur, err := g.genExpr(x.LHS) // current value, slot a
+	if err != nil {
+		return 0, err
+	}
+	rhs, err := g.genExpr(x.RHS) // slot a+1
+	if err != nil {
+		return 0, err
+	}
+	op := map[string]string{"*=": "*", "/=": "/", "%=": "%"}[x.Op]
+	res, err := g.genArith2(op, cur, rhs, t) // result in cur; rhs freed
+	if err != nil {
+		return 0, err
+	}
+	if id, ok := x.LHS.(*Ident); ok {
+		g.storeScalar(res, id.Sym, t)
+		return res, nil
+	}
+	addr, err := g.genAddr(x.LHS)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: isa.MOV, Byte: t.Kind == TChar, Src: isa.RegOp(res), Dst: isa.Idx(0, addr)})
+	g.freeTo(g.depth - 1) // release addr; result stays in res
+	return res, nil
+}
+
+func (g *generator) genIncDec(x *IncDec) (isa.Reg, error) {
+	t := g.chk.Types[x]
+	step := uint16(1)
+	if t.Kind == TPtr && t.Elem.Size() == 2 {
+		step = 2
+	}
+	op := isa.ADD
+	if x.Op == "--" {
+		op = isa.SUB
+	}
+	byteOp := t.Kind == TChar
+	// Result value (old value) into a register.
+	r, err := g.genExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	if id, ok := x.X.(*Ident); ok {
+		sym := id.Sym
+		if sym.Kind == SymGlobalVar {
+			g.emitRef(isa.Instr{Op: op, Byte: byteOp, Src: isa.Imm(step), Dst: isa.Abs(0)},
+				asm.NoRef, asm.Ref{Sym: abi.SymGlobal(g.unit, sym.Name)})
+		} else {
+			g.emit(isa.Instr{Op: op, Byte: byteOp, Src: isa.Imm(step),
+				Dst: isa.Idx(g.localOff(sym), isa.SP)})
+		}
+		return r, nil
+	}
+	addr, err := g.genAddr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: op, Byte: byteOp, Src: isa.Imm(step), Dst: isa.Idx(0, addr)})
+	g.freeTo(g.depth - 1)
+	return r, nil
+}
+
+func (g *generator) genBinary(x *Binary) (isa.Reg, error) {
+	switch x.Op {
+	case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
+		// Value context: materialize 0/1 via the condition generator.
+		r, err := g.alloc()
+		if err != nil {
+			return 0, err
+		}
+		trueL := g.newLabel("b1")
+		endL := g.newLabel("bend")
+		if err := g.genCondJump(x, trueL, ""); err != nil {
+			return 0, err
+		}
+		g.movImm(0, r)
+		g.b.Branch(isa.JMP, endL)
+		g.b.Label(trueL)
+		g.movImm(1, r)
+		g.b.Label(endL)
+		return r, nil
+	}
+
+	lt := g.chk.Types[x.L]
+	rt := g.chk.Types[x.R]
+	resT := g.chk.Types[x]
+
+	// Shifts by a constant inline as shift instruction sequences (as TI's
+	// compilers do); only variable shift counts go through the helpers.
+	if x.Op == "<<" || x.Op == ">>" {
+		if lit, ok := x.R.(*NumLit); ok && lit.Val >= 0 && lit.Val <= 15 {
+			lr, err := g.genExpr(x.L)
+			if err != nil {
+				return 0, err
+			}
+			g.emitConstShift(x.Op, lr, int(lit.Val), resT)
+			return lr, nil
+		}
+	}
+
+	// Pointer arithmetic scaling.
+	scaleR := x.Op == "+" || x.Op == "-"
+	ptrLeft := (lt.Kind == TPtr || lt.Kind == TArray) && rt.IsInteger()
+	ptrRight := x.Op == "+" && lt.IsInteger() && rt.Kind == TPtr
+
+	lr, err := g.genExpr(x.L)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := g.genExpr(x.R)
+	if err != nil {
+		return 0, err
+	}
+	if scaleR && ptrLeft && lt.ElemSizeFor() == 2 {
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(rr), Dst: isa.RegOp(rr)})
+	}
+	if ptrRight && rt.Elem.Size() == 2 {
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(lr), Dst: isa.RegOp(lr)})
+	}
+
+	res, err := g.genArith2(x.Op, lr, rr, resT)
+	if err != nil {
+		return 0, err
+	}
+	return res, nil
+}
+
+// ElemSizeFor returns the pointee size for pointer/array types (used for
+// pointer arithmetic scaling), defaulting to 1.
+func (t *Type) ElemSizeFor() int {
+	if t.Elem != nil {
+		return t.Elem.Size()
+	}
+	return 1
+}
+
+// genArith2 applies a binary arithmetic operator to lr (dst) and rr (src),
+// leaving the result in lr and freeing rr.
+func (g *generator) genArith2(op string, lr, rr isa.Reg, resT *Type) (isa.Reg, error) {
+	defer g.freeTo(g.depth - 1) // release rr
+	switch op {
+	case "+":
+		g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(rr), Dst: isa.RegOp(lr)})
+	case "-":
+		g.emit(isa.Instr{Op: isa.SUB, Src: isa.RegOp(rr), Dst: isa.RegOp(lr)})
+	case "&":
+		g.emit(isa.Instr{Op: isa.AND, Src: isa.RegOp(rr), Dst: isa.RegOp(lr)})
+	case "|":
+		g.emit(isa.Instr{Op: isa.BIS, Src: isa.RegOp(rr), Dst: isa.RegOp(lr)})
+	case "^":
+		g.emit(isa.Instr{Op: isa.XOR, Src: isa.RegOp(rr), Dst: isa.RegOp(lr)})
+	case "*":
+		// 16x16 multiply through the MPY32 hardware multiplier (the
+		// signed/unsigned low words are identical).
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(lr), Dst: isa.Abs(cpu.MPYOp1)})
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(rr), Dst: isa.Abs(cpu.MPYOp2)})
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.Abs(cpu.MPYResLo), Dst: isa.RegOp(lr)})
+	case "/":
+		if resT.Kind == TUint {
+			g.emitHelperDiv("divmodu", lr, rr, false)
+		} else {
+			g.emitHelperDiv("divs", lr, rr, false)
+		}
+	case "%":
+		if resT.Kind == TUint {
+			g.emitHelperDiv("divmodu", lr, rr, true)
+		} else {
+			g.emitHelperDiv("divs", lr, rr, true)
+		}
+	case "<<":
+		g.emitHelper2("shl", lr, rr)
+	case ">>":
+		if resT.Kind == TUint {
+			g.emitHelper2("shru", lr, rr)
+		} else {
+			g.emitHelper2("sar", lr, rr)
+		}
+	default:
+		return 0, fmt.Errorf("cc: internal: operator %q", op)
+	}
+	return lr, nil
+}
+
+// emitConstShift emits an inline shift-by-constant sequence.
+func (g *generator) emitConstShift(op string, r isa.Reg, k int, resT *Type) {
+	for i := 0; i < k; i++ {
+		if op == "<<" {
+			g.emit(isa.Instr{Op: isa.ADD, Src: isa.RegOp(r), Dst: isa.RegOp(r)}) // RLA
+		} else if resT.Kind == TUint {
+			g.emit(isa.Instr{Op: isa.BIC, Src: isa.Imm(1), Dst: isa.RegOp(isa.SR)}) // CLRC
+			g.emit(isa.Instr{Op: isa.RRC, Src: isa.RegOp(r)})
+		} else {
+			g.emit(isa.Instr{Op: isa.RRA, Src: isa.RegOp(r)})
+		}
+	}
+}
+
+// emitHelper2 calls a two-operand runtime helper: R12 = op(R12=lr, R13=rr).
+func (g *generator) emitHelper2(name string, lr, rr isa.Reg) {
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(lr), Dst: isa.RegOp(isa.R12)})
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(rr), Dst: isa.RegOp(isa.R13)})
+	g.emitRef(isa.Instr{Op: isa.CALL, Src: isa.Imm(0)}, asm.Ref{Sym: abi.SymRT(name)}, asm.NoRef)
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R12), Dst: isa.RegOp(lr)})
+}
+
+// emitHelperDiv calls a divide helper; quotient in R12, remainder in R13.
+func (g *generator) emitHelperDiv(name string, lr, rr isa.Reg, wantRem bool) {
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(lr), Dst: isa.RegOp(isa.R12)})
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(rr), Dst: isa.RegOp(isa.R13)})
+	g.emitRef(isa.Instr{Op: isa.CALL, Src: isa.Imm(0)}, asm.Ref{Sym: abi.SymRT(name)}, asm.NoRef)
+	src := isa.R12
+	if wantRem {
+		src = isa.R13
+	}
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(src), Dst: isa.RegOp(lr)})
+}
+
+// genCall compiles direct, API and function-pointer calls.
+func (g *generator) genCall(x *Call) (isa.Reg, error) {
+	line, col := x.Pos()
+	if len(x.Args) > abi.MaxRegArgs {
+		return 0, errf(line, col, "calls with more than %d arguments are not supported", abi.MaxRegArgs)
+	}
+
+	// Classify the callee.
+	var directSym string
+	var indirect Expr
+	if id, ok := x.Fun.(*Ident); ok && id.Sym != nil {
+		switch id.Sym.Kind {
+		case SymAPIName:
+			directSym = abi.SymGate(id.Sym.Name)
+		case SymFuncName:
+			directSym = abi.SymFunc(g.unit, id.Sym.Name)
+		default:
+			indirect = x.Fun // variable holding a function pointer
+		}
+	} else {
+		indirect = x.Fun
+	}
+
+	// Evaluate arguments left to right, parking each on the CPU stack.
+	for _, a := range x.Args {
+		r, err := g.genExpr(a)
+		if err != nil {
+			return 0, err
+		}
+		// Arrays decay: genExpr already yields the address for arrays.
+		g.emit(isa.Instr{Op: isa.PUSH, Src: isa.RegOp(r)})
+		g.pushAdj++
+		g.freeTo(g.depth - 1)
+	}
+
+	var fnReg isa.Reg
+	if indirect != nil {
+		r, err := g.genExpr(indirect)
+		if err != nil {
+			return 0, err
+		}
+		fnReg = r
+		g.emitExecCheck(fnReg)
+	}
+
+	// Pop arguments into R12..R15 (reverse order).
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.MOV, Src: isa.IndInc(isa.SP),
+			Dst: isa.RegOp(isa.R12 + isa.Reg(i))})
+		g.pushAdj--
+	}
+
+	if indirect != nil {
+		g.emit(isa.Instr{Op: isa.CALL, Src: isa.RegOp(fnReg)})
+		g.freeTo(g.depth - 1)
+	} else {
+		g.emitRef(isa.Instr{Op: isa.CALL, Src: isa.Imm(0)}, asm.Ref{Sym: directSym}, asm.NoRef)
+	}
+
+	r, err := g.alloc()
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R12), Dst: isa.RegOp(r)})
+	return r, nil
+}

@@ -1,0 +1,153 @@
+package cc
+
+import (
+	"testing"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/mpu"
+)
+
+// smashSource overwrites the words above its locals — including the saved
+// registers and the return address — through a forged pointer. Without a
+// defense, the function "returns" into garbage.
+const smashSource = `
+int f(int x) {
+    int local = 0;
+    int *p = &local;
+    int *q = p + 4;    // first word past this frame's locals
+    int i;
+    for (i = 0; i < 6; i++) {
+        *(q + i) = 0x4444;
+    }
+    return x + local;
+}
+int main() { return f(5); }
+`
+
+func TestShadowReturnStackCatchesSmash(t *testing.T) {
+	// Under NoIsolation with the shadow stack on, the epilogue mismatch
+	// must fault deterministically instead of jumping into garbage.
+	p, err := CompileProgram("test", smashSource, ProgramOptions{
+		Mode: ModeNoIsolation, ShadowReturnStack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Load()
+	reason, _ := m.Run(1_000_000)
+	if reason != cpu.StopHalt || m.CPU.ExitCode != FaultExitCode {
+		t.Fatalf("smash not caught: reason=%v exit=%04X", reason, m.CPU.ExitCode)
+	}
+}
+
+func TestShadowReturnStackTransparentForHonestCode(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+`
+	for _, shadow := range []bool{false, true} {
+		p, err := CompileProgram("test", src, ProgramOptions{
+			Mode: ModeMPU, EnableMPU: true, ShadowReturnStack: shadow,
+			StackBytes: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Load()
+		reason, f := m.Run(10_000_000)
+		if f != nil || reason != cpu.StopHalt {
+			t.Fatalf("shadow=%v: reason=%v f=%v", shadow, reason, f)
+		}
+		if m.CPU.ExitCode != 144 {
+			t.Fatalf("shadow=%v: fib(12) = %d, want 144", shadow, m.CPU.ExitCode)
+		}
+	}
+}
+
+// memOpProgram is the canonical checked-access loop as a standalone main.
+const memOpProgram = `
+int buf[64];
+int main() {
+    int i;
+    int j = 0;
+    int n = 2000;
+    for (i = 0; i < n; i++) {
+        buf[j] = buf[j] + 1;
+        j++;
+        if (j >= 64) { j = 0; }
+    }
+    return buf[0];
+}
+`
+
+// TestAdvancedMPUAblation quantifies the paper's §5 claim: an MPU able to
+// protect all of memory (4+ regions) would make the compiler's lower-bound
+// checks unnecessary. With CapabilityAdvanced, an *uninstrumented* binary
+// pays zero per-access overhead yet low-memory writes still fault.
+func TestAdvancedMPUAblation(t *testing.T) {
+	// Baseline: NoIsolation binary on the real (weak) MPU, disabled.
+	base, err := CompileProgram("test", memOpProgram, ProgramOptions{Mode: ModeNoIsolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBase := base.Load()
+	if reason, f := mBase.Run(10_000_000); reason != cpu.StopHalt || f != nil {
+		t.Fatalf("baseline: %v %v", reason, f)
+	}
+
+	// Same (unchecked!) binary under the hypothetical advanced MPU with the
+	// app plan enforced: identical cycle count, hardware protection active.
+	mAdv := base.Load()
+	mAdv.MPU.Cap = mpu.CapabilityAdvanced
+	mAdv.MPU.Configure(
+		mAdv.Sym(abi.SymDataLo("test")), mAdv.Sym(abi.SymDataHi("test")),
+		mpu.RWX(1, false, false, true)|mpu.RWX(2, true, true, false), true)
+	if reason, f := mAdv.Run(10_000_000); reason != cpu.StopHalt || f != nil {
+		t.Fatalf("advanced: %v %v", reason, f)
+	}
+	if mAdv.CPU.Cycles != mBase.CPU.Cycles {
+		t.Fatalf("advanced MPU charged cycles: %d vs %d", mAdv.CPU.Cycles, mBase.CPU.Cycles)
+	}
+
+	// The MPU-mode (checked) binary costs strictly more.
+	checked, err := CompileProgram("test", memOpProgram, ProgramOptions{Mode: ModeMPU, EnableMPU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mChk := checked.Load()
+	if reason, f := mChk.Run(10_000_000); reason != cpu.StopHalt || f != nil {
+		t.Fatalf("checked: %v %v", reason, f)
+	}
+	if mChk.CPU.Cycles <= mAdv.CPU.Cycles {
+		t.Fatalf("lower-bound checks cost nothing? checked=%d advanced=%d",
+			mChk.CPU.Cycles, mAdv.CPU.Cycles)
+	}
+
+	// And the advanced MPU still protects low memory with no checks at all.
+	evil := `
+int main() {
+    int *p = 0;
+    uint a = 0x1C00;
+    p = p + (a >> 1);
+    *p = 1;
+    return 1;
+}
+`
+	pe, err := CompileProgram("test", evil, ProgramOptions{Mode: ModeNoIsolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mEvil := pe.Load()
+	mEvil.MPU.Cap = mpu.CapabilityAdvanced
+	mEvil.MPU.Configure(
+		mEvil.Sym(abi.SymDataLo("test")), mEvil.Sym(abi.SymDataHi("test")),
+		mpu.RWX(1, false, false, true)|mpu.RWX(2, true, true, false), true)
+	reason, f := mEvil.Run(1_000_000)
+	if reason != cpu.StopFault || f == nil || f.Violation == nil {
+		t.Fatalf("advanced MPU missed the low write: %v %v", reason, f)
+	}
+}

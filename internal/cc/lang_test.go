@@ -1,0 +1,184 @@
+package cc
+
+import "testing"
+
+// Additional language-level coverage: scoping, nesting, dialect corners.
+
+func TestVariableShadowing(t *testing.T) {
+	runAllModes(t, `
+int x = 1;
+int main() {
+    int r = 0;
+    int i;
+    for (i = 0; i < 2; i++) {
+        int x = 10;          // shadows the global
+        r = r + x;
+    }
+    {
+        int x = 100;         // block scope... braces as block statement
+        r = r + x;
+    }
+    return r + x;            // 10+10+100+1
+}
+`, 121, true)
+}
+
+func TestNestedLoopsWithBreakContinue(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int total = 0;
+    int i;
+    int j;
+    for (i = 0; i < 5; i++) {
+        if (i == 3) { continue; }
+        j = 0;
+        while (1) {
+            j++;
+            if (j > i) { break; }
+            total = total + 10;
+        }
+        total = total + 1;
+    }
+    return total;   // i=0:+1, i=1:+11, i=2:+21, i=4:+41 => 74
+}
+`, 74, true)
+}
+
+func TestDeepExpressionWithinRegisterBudget(t *testing.T) {
+	runAllModes(t, `
+int main() {
+    int a = 1;
+    int b = 2;
+    int c = 3;
+    int d = 4;
+    return ((a + b) * (c + d)) + ((a - b) * (c - d)) + (a + (b + (c + (d + a))));
+    // 3*7 + (-1*-1) + 11 = 33
+}
+`, 33, true)
+}
+
+func TestExpressionTooComplexRejected(t *testing.T) {
+	// Right-leaning chains force one register per level; past eight the
+	// compiler must fail cleanly, not miscompile.
+	expectError(t, `
+int main() {
+    int a = 1;
+    return (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + a))))))))));
+}
+`, ModeNoIsolation, "too complex")
+}
+
+func TestCharGlobalAndComparisons(t *testing.T) {
+	runAllModes(t, `
+char state = 'i';
+int main() {
+    int r = 0;
+    if (state == 'i') { r = r + 1; }
+    state = 'r';
+    if (state != 'i') { r = r + 2; }
+    if (state > 'a') { r = r + 4; }     // chars are unsigned bytes
+    char big = 0xF0;
+    if (big > 0x80) { r = r + 8; }      // no sign surprise
+    return r;
+}
+`, 15, true)
+}
+
+func TestFunctionPointerAsParameterAndGlobal(t *testing.T) {
+	src := `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int (*table_op)(int);
+
+int fold(int (*f)(int), int n, int v) {
+    int i;
+    for (i = 0; i < n; i++) { v = f(v); }
+    return v;
+}
+
+int main() {
+    table_op = inc;
+    int r = fold(table_op, 5, 0);    // 5
+    table_op = dec;
+    r = fold(table_op, 2, r);        // 3
+    return r * 10 + fold(inc, 1, 0); // 31
+}
+`
+	runAllModes(t, src, 31, false)
+}
+
+func TestPointerIntoLocalArray(t *testing.T) {
+	src := `
+int sum(int *p, int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) { s = s + p[i]; }
+    return s;
+}
+int main() {
+    int local[6];
+    int i;
+    for (i = 0; i < 6; i++) { local[i] = i * i; }
+    return sum(local, 6) + sum(local + 2, 2);   // 55 + 4+9
+}
+`
+	runAllModes(t, src, 68, false)
+}
+
+func TestGlobalInitializerForms(t *testing.T) {
+	runAllModes(t, `
+int a = -5;
+uint b = 0xFFFF;
+const int flags = 1 | 4 | 8;
+int arr[5] = { 1, 2, 3 };     // partial init, rest zero
+char s[4] = "ab";             // partial string init
+int main() {
+    int r = 0;
+    if (a == -5) { r = r + 1; }
+    if (b == 65535) { r = r + 2; }
+    if (flags == 13) { r = r + 4; }
+    if (arr[2] == 3 && arr[4] == 0) { r = r + 8; }
+    if (s[1] == 'b' && s[2] == 0) { r = r + 16; }
+    return r;
+}
+`, 31, true)
+}
+
+func TestEmptyFunctionAndVoidCalls(t *testing.T) {
+	runAllModes(t, `
+int n = 0;
+void bump() { n++; }
+void nothing(void) {}
+int main() {
+    bump();
+    nothing();
+    bump();
+    return n;
+}
+`, 2, true)
+}
+
+func TestModesProduceDifferentCodeSizes(t *testing.T) {
+	src := `
+int buf[16];
+int main() {
+    int i;
+    for (i = 0; i < 16; i++) { buf[i] = i; }
+    return buf[5];
+}
+`
+	sizes := map[Mode]int{}
+	for _, m := range []Mode{ModeNoIsolation, ModeMPU, ModeSoftwareOnly, ModeFeatureLimited} {
+		p, err := CompileProgram("t", src, ProgramOptions{Mode: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := p.Image.MustSym("t.__code_lo")
+		hi := p.Image.MustSym("t.__code_hi")
+		sizes[m] = int(hi - lo)
+	}
+	// More checking = more code.
+	if !(sizes[ModeNoIsolation] < sizes[ModeMPU] && sizes[ModeMPU] < sizes[ModeSoftwareOnly]) {
+		t.Errorf("code size ordering wrong: %v", sizes)
+	}
+}

@@ -1,0 +1,205 @@
+package cc
+
+import (
+	"strings"
+)
+
+// Lex tokenizes AmuletC source.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	adv := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				adv(1)
+			}
+
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			adv(2)
+			for {
+				if i+1 >= n {
+					return nil, errf(startLine, startCol, "unterminated block comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					adv(2)
+					break
+				}
+				adv(1)
+			}
+
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			j := i
+			for j < n && isIdentCont(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			adv(j - i)
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+
+		case c >= '0' && c <= '9':
+			startLine, startCol := line, col
+			j := i
+			base := int32(10)
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			} else if c == '0' && j+1 < n && src[j+1] == 'b' {
+				base = 2
+				j += 2
+			}
+			var v int32
+			digits := 0
+			for j < n {
+				d := digitVal(src[j])
+				if d < 0 || d >= base {
+					break
+				}
+				v = v*base + d
+				digits++
+				j++
+			}
+			if base != 10 && digits == 0 {
+				return nil, errf(startLine, startCol, "malformed numeric literal")
+			}
+			if j < n && isIdentCont(src[j]) {
+				return nil, errf(startLine, startCol, "malformed numeric literal")
+			}
+			adv(j - i)
+			toks = append(toks, Token{Kind: TokNumber, Num: v, Line: startLine, Col: startCol})
+
+		case c == '"':
+			startLine, startCol := line, col
+			var sb strings.Builder
+			adv(1)
+			for {
+				if i >= n {
+					return nil, errf(startLine, startCol, "unterminated string literal")
+				}
+				if src[i] == '"' {
+					adv(1)
+					break
+				}
+				ch, k, err := decodeEscape(src, i, startLine, startCol)
+				if err != nil {
+					return nil, err
+				}
+				adv(k)
+				sb.WriteByte(ch)
+			}
+			toks = append(toks, Token{Kind: TokString, Str: sb.String(), Line: startLine, Col: startCol})
+
+		case c == '\'':
+			startLine, startCol := line, col
+			adv(1)
+			if i >= n {
+				return nil, errf(startLine, startCol, "unterminated char literal")
+			}
+			ch, k, err := decodeEscape(src, i, startLine, startCol)
+			if err != nil {
+				return nil, err
+			}
+			adv(k)
+			if i >= n || src[i] != '\'' {
+				return nil, errf(startLine, startCol, "unterminated char literal")
+			}
+			adv(1)
+			toks = append(toks, Token{Kind: TokChar, Num: int32(ch), Line: startLine, Col: startCol})
+
+		default:
+			startLine, startCol := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+				"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--":
+				adv(2)
+				toks = append(toks, Token{Kind: TokPunct, Text: two, Line: startLine, Col: startCol})
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+				'=', '(', ')', '{', '}', '[', ']', ';', ',':
+				adv(1)
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Line: startLine, Col: startCol})
+			default:
+				return nil, errf(startLine, startCol, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+// decodeEscape decodes one (possibly escaped) character at src[i], returning
+// the byte value and the number of source bytes consumed.
+func decodeEscape(src string, i, line, col int) (byte, int, error) {
+	c := src[i]
+	if c != '\\' {
+		return c, 1, nil
+	}
+	if i+1 >= len(src) {
+		return 0, 0, errf(line, col, "unterminated escape")
+	}
+	switch e := src[i+1]; e {
+	case 'n':
+		return '\n', 2, nil
+	case 't':
+		return '\t', 2, nil
+	case 'r':
+		return '\r', 2, nil
+	case '0':
+		return 0, 2, nil
+	case '\\', '\'', '"':
+		return e, 2, nil
+	default:
+		return 0, 0, errf(line, col, "unknown escape \\%c", e)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func digitVal(c byte) int32 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int32(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int32(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int32(c-'A') + 10
+	}
+	return -1
+}

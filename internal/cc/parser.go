@@ -1,0 +1,787 @@
+package cc
+
+// Parse parses a compilation unit. name becomes the unit's symbol prefix.
+func Parse(name, src string) (*Unit, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, unit: &Unit{Name: name}}
+	if err := p.parseUnit(); err != nil {
+		return nil, err
+	}
+	return p.unit, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	unit *Unit
+}
+
+func (p *parser) tok() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(text string) bool {
+	t := p.tok()
+	return (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	t := p.tok()
+	if !p.at(text) {
+		return t, errf(t.Line, t.Col, "expected %q, found %s", text, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.tok()
+	if t.Kind != TokIdent {
+		return t, errf(t.Line, t.Col, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// unsupported keywords that produce targeted diagnostics, mirroring the
+// AFT's phase-one language checks.
+var unsupportedKw = map[string]string{
+	"goto":    "goto is not allowed in AmuletC (AFT phase-1 language check)",
+	"asm":     "inline assembly is not allowed in AmuletC (AFT phase-1 language check)",
+	"struct":  "structs are not supported by this AmuletC dialect",
+	"union":   "unions are not supported by this AmuletC dialect",
+	"switch":  "switch is not supported; use if/else chains",
+	"do":      "do/while is not supported; use while",
+	"sizeof":  "sizeof is not supported; sizes are fixed (int/uint=2, char=1)",
+	"typedef": "typedef is not supported",
+	"enum":    "enums are not supported; use const int globals",
+	"float":   "floating point is not supported on this MCU",
+	"double":  "floating point is not supported on this MCU",
+	"static":  "static is not supported; file scope is already private to the app",
+	"long":    "only 16-bit int/uint/char exist in AmuletC",
+	"short":   "only 16-bit int/uint/char exist in AmuletC",
+}
+
+func (p *parser) checkUnsupported() error {
+	t := p.tok()
+	if t.Kind == TokKeyword {
+		if msg, bad := unsupportedKw[t.Text]; bad {
+			return errf(t.Line, t.Col, "%s", msg)
+		}
+		if t.Text == "signed" || t.Text == "unsigned" {
+			return errf(t.Line, t.Col, "use int/uint instead of signed/unsigned")
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseUnit() error {
+	for p.tok().Kind != TokEOF {
+		if err := p.checkUnsupported(); err != nil {
+			return err
+		}
+		isConst := p.accept("const")
+		base, err := p.parseBaseType()
+		if err != nil {
+			return err
+		}
+		// Function pointer declarator at file scope: T (*name)(params)
+		if p.at("(") {
+			g, err := p.parseFuncPtrGlobal(base, isConst)
+			if err != nil {
+				return err
+			}
+			p.unit.Globals = append(p.unit.Globals, g)
+			continue
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if p.at("(") { // function definition
+			if isConst {
+				return errf(nameTok.Line, nameTok.Col, "functions cannot be const")
+			}
+			fn, err := p.parseFunc(base, nameTok)
+			if err != nil {
+				return err
+			}
+			p.unit.Funcs = append(p.unit.Funcs, fn)
+			continue
+		}
+		g, err := p.parseGlobalRest(base, nameTok, isConst)
+		if err != nil {
+			return err
+		}
+		p.unit.Globals = append(p.unit.Globals, g)
+	}
+	return nil
+}
+
+// parseBaseType parses a scalar type with optional '*' suffixes.
+func (p *parser) parseBaseType() (*Type, error) {
+	if err := p.checkUnsupported(); err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.Kind != TokKeyword {
+		return nil, errf(t.Line, t.Col, "expected type, found %s", t)
+	}
+	var base *Type
+	switch t.Text {
+	case "int":
+		base = TypeInt
+	case "uint":
+		base = TypeUint
+	case "char":
+		base = TypeChar
+	case "void":
+		base = TypeVoid
+	default:
+		return nil, errf(t.Line, t.Col, "expected type, found %s", t)
+	}
+	p.pos++
+	for p.accept("*") {
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+// parseFuncPtrType parses "(*name)(params)" after the base type; returns the
+// variable name and the funcptr type.
+func (p *parser) parseFuncPtrType(ret *Type) (string, *Type, error) {
+	if _, err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect("*"); err != nil {
+		return "", nil, err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return "", nil, err
+	}
+	params, _, err := p.parseParamTypes()
+	if err != nil {
+		return "", nil, err
+	}
+	return nameTok.Text, &Type{Kind: TFuncPtr, Sig: &FuncSig{Ret: ret, Params: params}}, nil
+}
+
+func (p *parser) parseFuncPtrGlobal(ret *Type, isConst bool) (*GlobalDecl, error) {
+	line := p.tok().Line
+	name, ty, err := p.parseFuncPtrType(ret)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name, Type: ty, Const: isConst, Line: line}
+	if p.accept("=") {
+		t := p.tok()
+		return nil, errf(t.Line, t.Col, "function-pointer globals cannot have static initializers; assign in a handler")
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseParamTypes parses "(params)" returning types and names.
+func (p *parser) parseParamTypes() ([]*Type, []string, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, nil, err
+	}
+	var types []*Type
+	var names []string
+	if p.accept(")") {
+		return types, names, nil
+	}
+	if p.at("void") && p.toks[p.pos+1].Text == ")" {
+		p.pos += 2
+		return types, names, nil
+	}
+	for {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.at("(") {
+			name, ty, err := p.parseFuncPtrType(base)
+			if err != nil {
+				return nil, nil, err
+			}
+			types = append(types, ty)
+			names = append(names, name)
+		} else {
+			name := ""
+			if p.tok().Kind == TokIdent {
+				name = p.next().Text
+			}
+			if base.Kind == TVoid {
+				t := p.tok()
+				return nil, nil, errf(t.Line, t.Col, "parameter cannot have void type")
+			}
+			types = append(types, base)
+			names = append(names, name)
+		}
+		if p.accept(")") {
+			return types, names, nil
+		}
+		if _, err := p.expect(","); err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+func (p *parser) parseFunc(ret *Type, nameTok Token) (*FuncDecl, error) {
+	types, names, err := p.parseParamTypes()
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range names {
+		if n == "" {
+			t := p.tok()
+			return nil, errf(t.Line, t.Col, "parameter %d of %s needs a name", i+1, nameTok.Text)
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		Name:   nameTok.Text,
+		Sig:    &FuncSig{Ret: ret, Params: types},
+		Params: names,
+		Body:   body,
+		Line:   nameTok.Line,
+	}, nil
+}
+
+func (p *parser) parseGlobalRest(base *Type, nameTok Token, isConst bool) (*GlobalDecl, error) {
+	ty := base
+	if p.accept("[") {
+		szTok := p.tok()
+		sz, err := p.parseConstExpr()
+		if err != nil {
+			return nil, err
+		}
+		if sz <= 0 || sz > 16384 {
+			return nil, errf(szTok.Line, szTok.Col, "array length %d out of range", sz)
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		ty = &Type{Kind: TArray, Elem: base, Len: int(sz)}
+	}
+	if ty.Kind == TVoid {
+		return nil, errf(nameTok.Line, nameTok.Col, "variable %s cannot have void type", nameTok.Text)
+	}
+	g := &GlobalDecl{Name: nameTok.Text, Type: ty, Const: isConst, Line: nameTok.Line}
+	if p.accept("=") {
+		init, err := p.parseGlobalInit(ty)
+		if err != nil {
+			return nil, err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) parseGlobalInit(ty *Type) ([]int32, error) {
+	t := p.tok()
+	switch {
+	case ty.Kind == TArray && p.accept("{"):
+		var vals []int32
+		for {
+			v, err := p.parseConstExpr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.accept("}") {
+				break
+			}
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+			if p.accept("}") { // trailing comma
+				break
+			}
+		}
+		if len(vals) > ty.Len {
+			return nil, errf(t.Line, t.Col, "too many initializers (%d) for array of %d", len(vals), ty.Len)
+		}
+		return vals, nil
+	case ty.Kind == TArray && ty.Elem.Kind == TChar && p.tok().Kind == TokString:
+		s := p.next()
+		if len(s.Str) > ty.Len {
+			return nil, errf(s.Line, s.Col, "string initializer longer than array")
+		}
+		vals := make([]int32, len(s.Str))
+		for i := range s.Str {
+			vals[i] = int32(s.Str[i])
+		}
+		return vals, nil
+	default:
+		v, err := p.parseConstExpr()
+		if err != nil {
+			return nil, err
+		}
+		return []int32{v}, nil
+	}
+}
+
+// parseConstExpr evaluates a constant expression (literals, unary minus,
+// and | for flag composition).
+func (p *parser) parseConstExpr() (int32, error) {
+	v, err := p.parseConstAtom()
+	if err != nil {
+		return 0, err
+	}
+	for p.accept("|") {
+		r, err := p.parseConstAtom()
+		if err != nil {
+			return 0, err
+		}
+		v |= r
+	}
+	return v, nil
+}
+
+func (p *parser) parseConstAtom() (int32, error) {
+	neg := false
+	for p.accept("-") {
+		neg = !neg
+	}
+	t := p.next()
+	if t.Kind != TokNumber && t.Kind != TokChar {
+		return 0, errf(t.Line, t.Col, "expected constant, found %s", t)
+	}
+	v := t.Num
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// ---- Statements ----
+
+func (p *parser) parseBlock() (*Block, error) {
+	open, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{stmtBase: stmtBase{open.Line, open.Col}}
+	for !p.accept("}") {
+		if p.tok().Kind == TokEOF {
+			return nil, errf(open.Line, open.Col, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) isTypeStart() bool {
+	t := p.tok()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "int", "uint", "char", "void", "const":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.checkUnsupported(); err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+	case p.at("if"):
+		return p.parseIf()
+	case p.at("while"):
+		return p.parseWhile()
+	case p.at("for"):
+		return p.parseFor()
+	case p.at("return"):
+		p.pos++
+		rs := &ReturnStmt{stmtBase: stmtBase{t.Line, t.Col}}
+		if !p.at(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = x
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case p.at("break"):
+		p.pos++
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{stmtBase{t.Line, t.Col}}, nil
+	case p.at("continue"):
+		p.pos++
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{stmtBase{t.Line, t.Col}}, nil
+	case p.isTypeStart():
+		return p.parseDeclStmt()
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{stmtBase{t.Line, t.Col}, x}, nil
+	}
+}
+
+func (p *parser) parseDeclStmt() (Stmt, error) {
+	t := p.tok()
+	p.accept("const") // const locals allowed, treated as plain locals
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	var name string
+	ty := base
+	if p.at("(") {
+		name, ty, err = p.parseFuncPtrType(base)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		name = nameTok.Text
+		if p.accept("[") {
+			sz, err := p.parseConstExpr()
+			if err != nil {
+				return nil, err
+			}
+			if sz <= 0 || sz > 4096 {
+				return nil, errf(t.Line, t.Col, "array length %d out of range", sz)
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			ty = &Type{Kind: TArray, Elem: base, Len: int(sz)}
+		}
+	}
+	if ty.Kind == TVoid {
+		return nil, errf(t.Line, t.Col, "variable %s cannot have void type", name)
+	}
+	ds := &DeclStmt{stmtBase: stmtBase{t.Line, t.Col}, Name: name, Type: ty}
+	if p.accept("=") {
+		if ty.Kind == TArray {
+			return nil, errf(t.Line, t.Col, "local arrays cannot have initializers")
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ds.Init = x
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{stmtBase: stmtBase{t.Line, t.Col}, Cond: cond, Then: then}
+	if p.accept("else") {
+		if p.at("if") {
+			el, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = el
+		} else {
+			el, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = el
+		}
+	}
+	return is, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{stmtBase: stmtBase{t.Line, t.Col}, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{stmtBase: stmtBase{t.Line, t.Col}}
+	if !p.at(";") {
+		if p.isTypeStart() {
+			init, err := p.parseDeclStmt() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = &ExprStmt{stmtBase{t.Line, t.Col}, x}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.pos++
+	}
+	if !p.at(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.at(")") {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true,
+	"%=": true, "&=": true, "|=": true, "^=": true,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.Kind == TokPunct && assignOps[t.Text] {
+		p.pos++
+		rhs, err := p.parseExpr() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase{t.Line, t.Col}, t.Text, lhs, rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase{t.Line, t.Col}, t.Text, lhs, rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.tok()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase{t.Line, t.Col}, t.Text, x}, nil
+		case "++", "--":
+			return nil, errf(t.Line, t.Col, "prefix %s is not supported; use postfix", t.Text)
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		switch {
+		case p.at("("):
+			p.pos++
+			call := &Call{exprBase: exprBase{t.Line, t.Col}, Fun: x}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(")") {
+						break
+					}
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			x = call
+		case p.at("["):
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase{t.Line, t.Col}, x, idx}
+		case p.at("++") || p.at("--"):
+			p.pos++
+			x = &IncDec{exprBase{t.Line, t.Col}, t.Text, x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.tok()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		return &NumLit{exprBase{t.Line, t.Col}, t.Num}, nil
+	case TokChar:
+		p.pos++
+		return &NumLit{exprBase{t.Line, t.Col}, t.Num}, nil
+	case TokString:
+		p.pos++
+		return &StrLit{exprBase{t.Line, t.Col}, t.Str}, nil
+	case TokIdent:
+		p.pos++
+		return &Ident{exprBase: exprBase{t.Line, t.Col}, Name: t.Text}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	case TokKeyword:
+		if err := p.checkUnsupported(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %s in expression", t)
+}

@@ -1,0 +1,207 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"amuletiso/internal/cpu"
+)
+
+// Differential property test: generate random int16 expression trees,
+// compile them with the full pipeline, execute on the simulated MCU, and
+// compare against a Go reference evaluator with C semantics (wrapping
+// 16-bit arithmetic, truncating division, arithmetic right shift).
+
+type qexpr interface {
+	src() string
+	eval(a, b int16) int16
+}
+
+type qlit int16
+
+func (l qlit) src() string {
+	if l < 0 {
+		return fmt.Sprintf("(0 - %d)", -int32(l))
+	}
+	return fmt.Sprintf("%d", int16(l))
+}
+func (l qlit) eval(a, b int16) int16 { return int16(l) }
+
+type qvar byte
+
+func (v qvar) src() string { return string(v) }
+func (v qvar) eval(a, b int16) int16 {
+	if v == 'a' {
+		return a
+	}
+	return b
+}
+
+type qbin struct {
+	op   string
+	l, r qexpr
+}
+
+func (x qbin) src() string { return "(" + x.l.src() + " " + x.op + " " + x.r.src() + ")" }
+
+func (x qbin) eval(a, b int16) int16 {
+	l, r := x.l.eval(a, b), x.r.eval(a, b)
+	switch x.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return int16(int32(l) * int32(r)) // low 16 bits
+	case "/":
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case "%":
+		if r == 0 {
+			return l
+		}
+		return l % r
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<<":
+		return l << uint(r&7)
+	case ">>":
+		return l >> uint(r&7)
+	}
+	panic("op")
+}
+
+// randQExpr builds a random expression. Divisions get non-zero literal
+// divisors; shifts get small literal counts (mirroring the dialect's
+// defined behavior).
+func randQExpr(r *rand.Rand, depth int) qexpr {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return qlit(int16(r.Intn(2001) - 1000))
+		}
+		return qvar([]byte{'a', 'b'}[r.Intn(2)])
+	}
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
+	op := ops[r.Intn(len(ops))]
+	l := randQExpr(r, depth-1)
+	var rhs qexpr
+	switch op {
+	case "/", "%":
+		v := int16(r.Intn(200) + 1)
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		rhs = qlit(v)
+	case "<<", ">>":
+		rhs = qlit(int16(r.Intn(8)))
+	default:
+		rhs = randQExpr(r, depth-1)
+	}
+	return qbin{op, l, rhs}
+}
+
+func TestQuickDifferentialExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		e := randQExpr(r, 3)
+		a := int16(r.Intn(4001) - 2000)
+		b := int16(r.Intn(4001) - 2000)
+		want := uint16(e.eval(a, b))
+
+		src := fmt.Sprintf(`
+int main() {
+    int a = %s;
+    int b = %s;
+    return %s;
+}
+`, qlit(a).src(), qlit(b).src(), e.src())
+
+		// NoIsolation checks pure codegen; MPU checks that instrumentation
+		// does not perturb results.
+		for _, mode := range []Mode{ModeNoIsolation, ModeMPU} {
+			p, err := CompileProgram("q", src, ProgramOptions{Mode: mode, EnableMPU: mode == ModeMPU})
+			if err != nil {
+				t.Fatalf("trial %d compile (%v):\n%s\n%v", i, mode, src, err)
+			}
+			m := p.Load()
+			reason, f := m.Run(5_000_000)
+			if f != nil || reason != cpu.StopHalt {
+				t.Fatalf("trial %d run (%v): reason=%v fault=%v\n%s", i, mode, reason, f, src)
+			}
+			if m.CPU.ExitCode != want {
+				t.Fatalf("trial %d (%v): a=%d b=%d\n%s\ngot %d (0x%04X), want %d (0x%04X)",
+					i, mode, a, b, src, int16(m.CPU.ExitCode), m.CPU.ExitCode, int16(want), want)
+			}
+		}
+	}
+}
+
+// TestQuickDifferentialComparisons does the same for comparison chains and
+// logical operators, which exercise the condition-code paths.
+func TestQuickDifferentialComparisons(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cmps := []string{"==", "!=", "<", "<=", ">", ">="}
+	for i := 0; i < 40; i++ {
+		a := int16(r.Intn(201) - 100)
+		b := int16(r.Intn(201) - 100)
+		op1 := cmps[r.Intn(len(cmps))]
+		op2 := cmps[r.Intn(len(cmps))]
+		logic := []string{"&&", "||"}[r.Intn(2)]
+
+		evalCmp := func(op string, l, rv int16) int {
+			var v bool
+			switch op {
+			case "==":
+				v = l == rv
+			case "!=":
+				v = l != rv
+			case "<":
+				v = l < rv
+			case "<=":
+				v = l <= rv
+			case ">":
+				v = l > rv
+			case ">=":
+				v = l >= rv
+			}
+			if v {
+				return 1
+			}
+			return 0
+		}
+		c1 := evalCmp(op1, a, b)
+		c2 := evalCmp(op2, b, a)
+		want := uint16(0)
+		if (logic == "&&" && c1 == 1 && c2 == 1) || (logic == "||" && (c1 == 1 || c2 == 1)) {
+			want = 1
+		}
+
+		src := fmt.Sprintf(`
+int main() {
+    int a = %s;
+    int b = %s;
+    return (a %s b) %s (b %s a);
+}
+`, qlit(a).src(), qlit(b).src(), op1, logic, op2)
+		p, err := CompileProgram("q", src, ProgramOptions{Mode: ModeSoftwareOnly})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", i, err, src)
+		}
+		m := p.Load()
+		if reason, f := m.Run(1_000_000); f != nil || reason != cpu.StopHalt {
+			t.Fatalf("trial %d: %v %v", i, reason, f)
+		}
+		if m.CPU.ExitCode != want {
+			t.Fatalf("trial %d: a=%d b=%d op1=%s %s op2=%s: got %d want %d\n%s",
+				i, a, b, op1, logic, op2, m.CPU.ExitCode, want, src)
+		}
+	}
+}

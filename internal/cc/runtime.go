@@ -1,0 +1,139 @@
+package cc
+
+// RuntimeAsm is the shared runtime library, hand-written in MSP430 assembly
+// and assembled into the OS code region (execute-only under every MPU plan,
+// so apps may call it). It provides the software multiply/divide/shift the
+// MCU lacks, and the Feature-Limited bounds-check helper that original
+// Amulet C routed every dynamically-indexed array access through.
+//
+// All helpers use only caller-saved registers (R12-R15) externally and
+// preserve anything else they touch, so compiled code can keep values in
+// R4-R11 across helper calls.
+//
+// The label "os.fault" must be defined by the embedding harness: the AFT
+// points it at the kernel fault port; standalone programs point it at a
+// halting stub.
+const RuntimeAsm = `
+; ---------------- AmuletC shared runtime library ----------------
+
+rt.mul:                 ; R12 = R12 * R13 (low 16 bits), shift-and-add
+        PUSH R14
+        MOV  R12, R14
+        CLR  R12
+rt.mul.loop:
+        TST  R13
+        JZ   rt.mul.done
+        BIT  #1, R13
+        JZ   rt.mul.skip
+        ADD  R14, R12
+rt.mul.skip:
+        RLA  R14
+        CLRC
+        RRC  R13
+        JMP  rt.mul.loop
+rt.mul.done:
+        POP  R14
+        RET
+
+rt.divmodu:             ; unsigned R12 / R13 -> quotient R12, remainder R13
+        PUSH R14
+        PUSH R15
+        CLR  R14        ; quotient accumulator
+        MOV  #1, R15    ; current quotient bit
+        TST  R13
+        JZ   rt.divmodu.done    ; divide by zero: q=0, r=dividend
+rt.divmodu.align:
+        BIT  #0x8000, R13
+        JNZ  rt.divmodu.loop
+        CMP  R12, R13           ; divisor - dividend
+        JHS  rt.divmodu.loop    ; divisor >= dividend: aligned
+        RLA  R13
+        RLA  R15
+        JMP  rt.divmodu.align
+rt.divmodu.loop:
+        CMP  R13, R12           ; dividend - divisor
+        JLO  rt.divmodu.skip
+        SUB  R13, R12
+        BIS  R15, R14
+rt.divmodu.skip:
+        CLRC
+        RRC  R13
+        CLRC
+        RRC  R15
+        JNZ  rt.divmodu.loop
+rt.divmodu.done:
+        MOV  R12, R13           ; remainder out
+        MOV  R14, R12           ; quotient out
+        POP  R15
+        POP  R14
+        RET
+
+rt.divs:                ; signed R12 / R13 -> quotient R12, remainder R13
+        PUSH R14        ; (remainder carries the dividend's sign; C semantics)
+        CLR  R14
+        TST  R12
+        JGE  rt.divs.p1
+        INV  R12
+        INC  R12
+        XOR  #3, R14    ; negative dividend flips quotient and remainder sign
+rt.divs.p1:
+        TST  R13
+        JGE  rt.divs.p2
+        INV  R13
+        INC  R13
+        XOR  #1, R14    ; negative divisor flips quotient sign only
+rt.divs.p2:
+        CALL #rt.divmodu
+        BIT  #1, R14
+        JZ   rt.divs.fixr
+        INV  R12
+        INC  R12
+rt.divs.fixr:
+        BIT  #2, R14
+        JZ   rt.divs.out
+        INV  R13
+        INC  R13
+rt.divs.out:
+        POP  R14
+        RET
+
+rt.shl:                 ; R12 <<= (R13 & 15)
+        AND  #15, R13
+        JZ   rt.shl.done
+rt.shl.loop:
+        RLA  R12
+        DEC  R13
+        JNZ  rt.shl.loop
+rt.shl.done:
+        RET
+
+rt.shru:                ; logical R12 >>= (R13 & 15)
+        AND  #15, R13
+        JZ   rt.shru.done
+rt.shru.loop:
+        CLRC
+        RRC  R12
+        DEC  R13
+        JNZ  rt.shru.loop
+rt.shru.done:
+        RET
+
+rt.sar:                 ; arithmetic R12 >>= (R13 & 15)
+        AND  #15, R13
+        JZ   rt.sar.done
+rt.sar.loop:
+        RRA  R12
+        DEC  R13
+        JNZ  rt.sar.loop
+rt.sar.done:
+        RET
+
+rt.bounds:              ; Feature-Limited array check: fault unless 0 <= R13 < R14
+        TST  R13
+        JN   rt.bounds.fail
+        CMP  R14, R13           ; index - length
+        JHS  rt.bounds.fail
+        RET
+rt.bounds.fail:
+        BR   #os.fault
+`

@@ -1,0 +1,764 @@
+package cc
+
+import (
+	"fmt"
+
+	"amuletiso/internal/abi"
+)
+
+// Dialect selects the language rules, mirroring the paper's comparison.
+type Dialect int
+
+// Dialects.
+const (
+	// DialectFull allows pointers, function pointers and recursion — the
+	// paper's contribution makes this safe via MPU + compiler checks.
+	DialectFull Dialect = iota
+	// DialectRestricted is original Amulet C: no pointers of any kind and
+	// no recursion; array accesses are bounds-checked via a helper call.
+	DialectRestricted
+)
+
+func (d Dialect) String() string {
+	if d == DialectRestricted {
+		return "restricted"
+	}
+	return "full"
+}
+
+// GateAppStackBytes is the app-stack cost of one OS API call (gate register
+// saves plus the return address), used by the stack estimator.
+const GateAppStackBytes = 24
+
+// callOverheadBytes is the app-stack cost of one internal call: the return
+// address plus worst-case callee-saved register spills.
+const callOverheadBytes = 2 + 16
+
+// FuncInfo is the analyzer's per-function summary — the data the AFT's
+// phase-1 "enumerate memory accesses and OS API calls, examine the call
+// graph and stack frames" step produces.
+type FuncInfo struct {
+	Name        string
+	Decl        *FuncDecl
+	Locals      []*Symbol // flattened declaration order (incl. params)
+	NParamWords int
+	Callees     []string // direct intra-app calls
+	APICalls    []string // OS API calls
+	CheckSites  int      // static count of instrumentable memory accesses
+	FuncPtrCall bool     // performs indirect calls
+	Recursive   bool     // on a call-graph cycle
+	FrameBytes  int      // estimated locals frame
+	MaxStack    int      // estimated deepest stack use in bytes; -1 unbounded
+}
+
+// Checked is the analyzed form of a unit, ready for code generation.
+type Checked struct {
+	Unit    *Unit
+	Dialect Dialect
+
+	Types   map[Expr]*Type
+	Funcs   map[string]*FuncInfo
+	Globals map[string]*GlobalDecl
+	Strings []string // interned string literals in first-use order
+
+	// Recursive is set when any function participates in recursion; the
+	// AFT then cannot bound the stack (paper §3, AFT phase 1).
+	Recursive bool
+	// MaxStack is the estimated per-activation stack bound in bytes over
+	// all handlers, or -1 when recursion makes it unbounded.
+	MaxStack int
+}
+
+// HandlerName is the entry point every application must export.
+const HandlerName = "handle_event"
+
+type analyzer struct {
+	unit    *Unit
+	dialect Dialect
+	out     *Checked
+
+	scopes  []map[string]*Symbol
+	curFn   *FuncDecl
+	curInfo *FuncInfo
+	loop    int
+	strIdx  map[string]int
+}
+
+// Analyze type-checks the unit under the dialect rules and produces the
+// phase-1 summary. requireHandler additionally demands the standard
+// handle_event(int, int) entry point (set for application units, clear for
+// bare test programs).
+func Analyze(u *Unit, d Dialect, requireHandler bool) (*Checked, error) {
+	a := &analyzer{
+		unit:    u,
+		dialect: d,
+		out: &Checked{
+			Unit:    u,
+			Dialect: d,
+			Types:   make(map[Expr]*Type),
+			Funcs:   make(map[string]*FuncInfo),
+			Globals: make(map[string]*GlobalDecl),
+		},
+		strIdx: make(map[string]int),
+	}
+	if err := a.collectGlobals(); err != nil {
+		return nil, err
+	}
+	for _, fn := range u.Funcs {
+		if err := a.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	if requireHandler {
+		fi, ok := a.out.Funcs[HandlerName]
+		if !ok {
+			return nil, errf(1, 1, "app %q must define void %s(int ev, int arg)", u.Name, HandlerName)
+		}
+		sig := fi.Decl.Sig
+		if sig.Ret.Kind != TVoid || len(sig.Params) != 2 ||
+			!sig.Params[0].IsInteger() || !sig.Params[1].IsInteger() {
+			return nil, errf(fi.Decl.Line, 1, "%s must have signature void %s(int, int)", HandlerName, HandlerName)
+		}
+	}
+	a.buildCallGraph()
+	return a.out, nil
+}
+
+func (a *analyzer) collectGlobals() error {
+	a.scopes = []map[string]*Symbol{make(map[string]*Symbol)}
+	top := a.scopes[0]
+	for _, g := range a.unit.Globals {
+		if err := a.checkTypeAllowed(g.Type, g.Line); err != nil {
+			return err
+		}
+		if _, dup := top[g.Name]; dup {
+			return errf(g.Line, 1, "redefinition of %q", g.Name)
+		}
+		if _, isAPI := abi.APIByName(g.Name); isAPI {
+			return errf(g.Line, 1, "%q collides with an OS API name", g.Name)
+		}
+		g.Sym = &Symbol{Kind: SymGlobalVar, Name: g.Name, Type: g.Type, Unit: a.unit.Name}
+		top[g.Name] = g.Sym
+		a.out.Globals[g.Name] = g
+	}
+	for _, fn := range a.unit.Funcs {
+		if _, dup := top[fn.Name]; dup {
+			return errf(fn.Line, 1, "redefinition of %q", fn.Name)
+		}
+		if _, isAPI := abi.APIByName(fn.Name); isAPI {
+			return errf(fn.Line, 1, "function %q collides with an OS API name", fn.Name)
+		}
+		if err := a.checkTypeAllowed(fn.Sig.Ret, fn.Line); err != nil {
+			return err
+		}
+		for _, pt := range fn.Sig.Params {
+			if err := a.checkTypeAllowed(pt, fn.Line); err != nil {
+				return err
+			}
+		}
+		fn.Sym = &Symbol{Kind: SymFuncName, Name: fn.Name, Sig: fn.Sig, Unit: a.unit.Name}
+		top[fn.Name] = fn.Sym
+	}
+	return nil
+}
+
+// checkTypeAllowed enforces the dialect's type restrictions.
+func (a *analyzer) checkTypeAllowed(t *Type, line int) error {
+	if a.dialect == DialectRestricted {
+		switch t.Kind {
+		case TPtr:
+			return errf(line, 1, "pointers are not allowed in Amulet C (restricted dialect)")
+		case TFuncPtr:
+			return errf(line, 1, "function pointers are not allowed in Amulet C (restricted dialect)")
+		}
+	}
+	if t.Kind == TPtr || t.Kind == TArray {
+		if t.Elem.Kind == TVoid {
+			return errf(line, 1, "void element type is not allowed")
+		}
+		return a.checkTypeAllowed(t.Elem, line)
+	}
+	return nil
+}
+
+func (a *analyzer) push() { a.scopes = append(a.scopes, make(map[string]*Symbol)) }
+func (a *analyzer) pop()  { a.scopes = a.scopes[:len(a.scopes)-1] }
+
+func (a *analyzer) define(name string, s *Symbol, line, col int) error {
+	sc := a.scopes[len(a.scopes)-1]
+	if _, dup := sc[name]; dup {
+		return errf(line, col, "redefinition of %q in this scope", name)
+	}
+	sc[name] = s
+	return nil
+}
+
+func (a *analyzer) lookup(name string) *Symbol {
+	for i := len(a.scopes) - 1; i >= 0; i-- {
+		if s, ok := a.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) checkFunc(fn *FuncDecl) error {
+	info := &FuncInfo{Name: fn.Name, Decl: fn, NParamWords: len(fn.Sig.Params)}
+	a.curFn = fn
+	a.curInfo = info
+	a.out.Funcs[fn.Name] = info
+
+	a.push()
+	defer a.pop()
+	for i, pname := range fn.Params {
+		sym := &Symbol{Kind: SymParam, Name: pname, Type: fn.Sig.Params[i], Unit: a.unit.Name}
+		if err := a.define(pname, sym, fn.Line, 1); err != nil {
+			return err
+		}
+		info.Locals = append(info.Locals, sym)
+	}
+	if err := a.checkBlock(fn.Body); err != nil {
+		return err
+	}
+	// Frame estimate: every local and param gets a word-aligned slot.
+	frame := 0
+	for _, l := range info.Locals {
+		frame += (l.Type.Size() + 1) &^ 1
+	}
+	info.FrameBytes = frame
+	return nil
+}
+
+func (a *analyzer) checkBlock(b *Block) error {
+	a.push()
+	defer a.pop()
+	for _, s := range b.Stmts {
+		if err := a.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return a.checkBlock(st)
+	case *DeclStmt:
+		line, col := st.Pos()
+		if err := a.checkTypeAllowed(st.Type, line); err != nil {
+			return err
+		}
+		sym := &Symbol{Kind: SymLocalVar, Name: st.Name, Type: st.Type, Unit: a.unit.Name}
+		st.Sym = sym
+		if st.Init != nil {
+			ty, err := a.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := a.assignable(st.Type, ty, st.Init); err != nil {
+				return err
+			}
+		}
+		if err := a.define(st.Name, sym, line, col); err != nil {
+			return err
+		}
+		a.curInfo.Locals = append(a.curInfo.Locals, sym)
+		return nil
+	case *ExprStmt:
+		_, err := a.checkExpr(st.X)
+		return err
+	case *IfStmt:
+		if err := a.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := a.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := a.checkCond(st.Cond); err != nil {
+			return err
+		}
+		a.loop++
+		defer func() { a.loop-- }()
+		return a.checkBlock(st.Body)
+	case *ForStmt:
+		a.push()
+		defer a.pop()
+		if st.Init != nil {
+			if err := a.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := a.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := a.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		a.loop++
+		defer func() { a.loop-- }()
+		return a.checkBlock(st.Body)
+	case *ReturnStmt:
+		line, col := st.Pos()
+		ret := a.curFn.Sig.Ret
+		if st.X == nil {
+			if ret.Kind != TVoid {
+				return errf(line, col, "%s must return a value", a.curFn.Name)
+			}
+			return nil
+		}
+		if ret.Kind == TVoid {
+			return errf(line, col, "void function %s cannot return a value", a.curFn.Name)
+		}
+		ty, err := a.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		return a.assignable(ret, ty, st.X)
+	case *BreakStmt:
+		if a.loop == 0 {
+			line, col := st.Pos()
+			return errf(line, col, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if a.loop == 0 {
+			line, col := st.Pos()
+			return errf(line, col, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("cc: internal: unknown statement %T", s)
+}
+
+func (a *analyzer) checkCond(e Expr) error {
+	ty, err := a.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	line, col := e.Pos()
+	if !ty.IsScalar() {
+		return errf(line, col, "condition must be scalar, got %s", ty)
+	}
+	return nil
+}
+
+// assignable checks whether a value of type src may be stored into dst.
+func (a *analyzer) assignable(dst, src *Type, at Expr) error {
+	line, col := at.Pos()
+	switch {
+	case dst.IsInteger() && src.IsInteger():
+		return nil
+	case dst.Kind == TPtr && src.Kind == TPtr:
+		return nil // lax pointer compatibility, as in pre-ANSI C
+	case dst.Kind == TPtr && src.Kind == TArray:
+		return nil // array decay
+	case dst.Kind == TFuncPtr && src.Kind == TFuncPtr:
+		return nil
+	case dst.Kind == TPtr && src.IsInteger():
+		if lit, ok := at.(*NumLit); ok && lit.Val == 0 {
+			return nil // null pointer constant
+		}
+	}
+	return errf(line, col, "cannot assign %s to %s", src, dst)
+}
+
+func (a *analyzer) setType(e Expr, t *Type) *Type {
+	a.out.Types[e] = t
+	return t
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Sym != nil && (x.Sym.Kind == SymGlobalVar || x.Sym.Kind == SymLocalVar || x.Sym.Kind == SymParam)
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == "*"
+	}
+	return false
+}
+
+func (a *analyzer) checkExpr(e Expr) (*Type, error) {
+	line, col := e.Pos()
+	switch x := e.(type) {
+	case *NumLit:
+		return a.setType(e, TypeInt), nil
+
+	case *StrLit:
+		if a.dialect == DialectRestricted {
+			return nil, errf(line, col, "string literals need pointers and are not allowed in Amulet C; use char arrays")
+		}
+		if _, seen := a.strIdx[x.Val]; !seen {
+			a.strIdx[x.Val] = len(a.out.Strings)
+			a.out.Strings = append(a.out.Strings, x.Val)
+		}
+		return a.setType(e, PtrTo(TypeChar)), nil
+
+	case *Ident:
+		sym := a.lookup(x.Name)
+		if sym == nil {
+			if api, ok := abi.APIByName(x.Name); ok {
+				x.Sym = &Symbol{Kind: SymAPIName, Name: api.Name, Unit: "os"}
+				return a.setType(e, TypeVoid), nil // callable only
+			}
+			return nil, errf(line, col, "undefined identifier %q", x.Name)
+		}
+		x.Sym = sym
+		if sym.Kind == SymFuncName {
+			return a.setType(e, &Type{Kind: TFuncPtr, Sig: sym.Sig}), nil
+		}
+		return a.setType(e, sym.Type), nil
+
+	case *Unary:
+		return a.checkUnary(x)
+
+	case *Binary:
+		return a.checkBinary(x)
+
+	case *Assign:
+		lt, err := a.checkExpr(x.LHS)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(x.LHS) {
+			return nil, errf(line, col, "left side of %s is not assignable", x.Op)
+		}
+		if lt.Kind == TArray {
+			return nil, errf(line, col, "arrays are not assignable")
+		}
+		rt, err := a.checkExpr(x.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "=" {
+			if err := a.assignable(lt, rt, x.RHS); err != nil {
+				return nil, err
+			}
+		} else {
+			// Compound ops require integer operands (or ptr += int).
+			if lt.Kind == TPtr && (x.Op == "+=" || x.Op == "-=") && rt.IsInteger() {
+				// ok: pointer stepping
+			} else if !lt.IsInteger() || !rt.IsInteger() {
+				return nil, errf(line, col, "operator %s needs integer operands", x.Op)
+			}
+		}
+		return a.setType(e, lt), nil
+
+	case *IncDec:
+		t, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(x.X) {
+			return nil, errf(line, col, "%s needs an assignable operand", x.Op)
+		}
+		if !t.IsInteger() && t.Kind != TPtr {
+			return nil, errf(line, col, "%s needs an integer or pointer operand", x.Op)
+		}
+		return a.setType(e, t), nil
+
+	case *Index:
+		at, err := a.checkExpr(x.Arr)
+		if err != nil {
+			return nil, err
+		}
+		it, err := a.checkExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !it.IsInteger() {
+			return nil, errf(line, col, "array index must be an integer, got %s", it)
+		}
+		switch at.Kind {
+		case TArray:
+			a.noteCheckSite(x.Idx)
+			return a.setType(e, at.Elem), nil
+		case TPtr:
+			if a.dialect == DialectRestricted {
+				return nil, errf(line, col, "pointer indexing is not allowed in Amulet C")
+			}
+			a.curInfo.CheckSites++
+			return a.setType(e, at.Elem), nil
+		}
+		return nil, errf(line, col, "cannot index %s", at)
+
+	case *Call:
+		return a.checkCall(x)
+	}
+	return nil, fmt.Errorf("cc: internal: unknown expression %T", e)
+}
+
+// noteCheckSite counts a direct array access as instrumentable unless the
+// index is a literal (provably in range, checked at compile time instead).
+func (a *analyzer) noteCheckSite(idx Expr) {
+	if _, lit := idx.(*NumLit); !lit {
+		a.curInfo.CheckSites++
+	}
+}
+
+func (a *analyzer) checkUnary(x *Unary) (*Type, error) {
+	line, col := x.Pos()
+	switch x.Op {
+	case "-", "~":
+		t, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsInteger() {
+			return nil, errf(line, col, "unary %s needs an integer operand", x.Op)
+		}
+		return a.setType(x, TypeInt), nil
+	case "!":
+		t, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() {
+			return nil, errf(line, col, "unary ! needs a scalar operand")
+		}
+		return a.setType(x, TypeInt), nil
+	case "*":
+		if a.dialect == DialectRestricted {
+			return nil, errf(line, col, "pointer dereference is not allowed in Amulet C")
+		}
+		t, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TPtr {
+			return nil, errf(line, col, "cannot dereference %s", t)
+		}
+		a.curInfo.CheckSites++
+		return a.setType(x, t.Elem), nil
+	case "&":
+		if a.dialect == DialectRestricted {
+			return nil, errf(line, col, "address-of is not allowed in Amulet C")
+		}
+		// &func yields a function pointer.
+		if id, ok := x.X.(*Ident); ok {
+			if sym := a.lookup(id.Name); sym != nil && sym.Kind == SymFuncName {
+				id.Sym = sym
+				a.setType(id, &Type{Kind: TFuncPtr, Sig: sym.Sig})
+				return a.setType(x, &Type{Kind: TFuncPtr, Sig: sym.Sig}), nil
+			}
+		}
+		t, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(x.X) {
+			return nil, errf(line, col, "cannot take the address of this expression")
+		}
+		if t.Kind == TArray {
+			return a.setType(x, PtrTo(t.Elem)), nil
+		}
+		return a.setType(x, PtrTo(t)), nil
+	}
+	return nil, errf(line, col, "unknown unary operator %s", x.Op)
+}
+
+func (a *analyzer) checkBinary(x *Binary) (*Type, error) {
+	line, col := x.Pos()
+	lt, err := a.checkExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := a.checkExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "&&", "||":
+		if !lt.IsScalar() || !rt.IsScalar() {
+			return nil, errf(line, col, "%s needs scalar operands", x.Op)
+		}
+		return a.setType(x, TypeInt), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		okInt := lt.IsInteger() && rt.IsInteger()
+		okPtr := (lt.Kind == TPtr || lt.Kind == TArray) && (rt.Kind == TPtr || rt.Kind == TArray)
+		if !okInt && !okPtr {
+			return nil, errf(line, col, "cannot compare %s with %s", lt, rt)
+		}
+		return a.setType(x, TypeInt), nil
+	case "+", "-":
+		// Pointer arithmetic (full dialect only; restricted has no pointers).
+		if lt.Kind == TPtr && rt.IsInteger() {
+			return a.setType(x, lt), nil
+		}
+		if lt.Kind == TArray && rt.IsInteger() {
+			return a.setType(x, PtrTo(lt.Elem)), nil
+		}
+		if x.Op == "+" && lt.IsInteger() && rt.Kind == TPtr {
+			return a.setType(x, rt), nil
+		}
+		fallthrough
+	case "*", "/", "%", "&", "|", "^", "<<", ">>":
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return nil, errf(line, col, "operator %s needs integer operands, got %s and %s", x.Op, lt, rt)
+		}
+		// Unsigned if either side is unsigned (C-ish promotion).
+		if lt.Kind == TUint || rt.Kind == TUint {
+			return a.setType(x, TypeUint), nil
+		}
+		return a.setType(x, TypeInt), nil
+	}
+	return nil, errf(line, col, "unknown operator %s", x.Op)
+}
+
+func (a *analyzer) checkCall(x *Call) (*Type, error) {
+	line, col := x.Pos()
+	// Direct call through an identifier?
+	if id, ok := x.Fun.(*Ident); ok {
+		// OS API?
+		if a.lookup(id.Name) == nil {
+			if api, isAPI := abi.APIByName(id.Name); isAPI {
+				id.Sym = &Symbol{Kind: SymAPIName, Name: api.Name, Unit: "os"}
+				a.setType(id, TypeVoid)
+				if len(x.Args) != api.NArgs {
+					return nil, errf(line, col, "%s takes %d argument(s), got %d", api.Name, api.NArgs, len(x.Args))
+				}
+				for _, arg := range x.Args {
+					t, err := a.checkExpr(arg)
+					if err != nil {
+						return nil, err
+					}
+					if !t.IsScalar() && t.Kind != TArray {
+						return nil, errf(line, col, "API argument must be scalar or array, got %s", t)
+					}
+				}
+				a.curInfo.APICalls = append(a.curInfo.APICalls, api.Name)
+				if api.HasRet {
+					return a.setType(x, TypeInt), nil
+				}
+				return a.setType(x, TypeVoid), nil
+			}
+			return nil, errf(line, col, "undefined function %q", id.Name)
+		}
+		sym := a.lookup(id.Name)
+		if sym.Kind == SymFuncName {
+			id.Sym = sym
+			a.setType(id, &Type{Kind: TFuncPtr, Sig: sym.Sig})
+			if err := a.checkArgs(sym.Sig, x.Args, line, col, id.Name); err != nil {
+				return nil, err
+			}
+			a.curInfo.Callees = append(a.curInfo.Callees, id.Name)
+			return a.setType(x, sym.Sig.Ret), nil
+		}
+		// fall through: calling a variable (function pointer)
+	}
+	// Indirect call through a function-pointer expression.
+	if a.dialect == DialectRestricted {
+		return nil, errf(line, col, "indirect calls are not allowed in Amulet C")
+	}
+	ft, err := a.checkExpr(x.Fun)
+	if err != nil {
+		return nil, err
+	}
+	if ft.Kind != TFuncPtr {
+		return nil, errf(line, col, "cannot call value of type %s", ft)
+	}
+	a.curInfo.FuncPtrCall = true
+	a.curInfo.CheckSites++ // the call target itself is checked
+	if ft.Sig != nil {
+		if err := a.checkArgs(ft.Sig, x.Args, line, col, "function pointer"); err != nil {
+			return nil, err
+		}
+		return a.setType(x, ft.Sig.Ret), nil
+	}
+	return a.setType(x, TypeInt), nil
+}
+
+func (a *analyzer) checkArgs(sig *FuncSig, args []Expr, line, col int, what string) error {
+	if len(args) != len(sig.Params) {
+		return errf(line, col, "%s takes %d argument(s), got %d", what, len(sig.Params), len(args))
+	}
+	for i, arg := range args {
+		t, err := a.checkExpr(arg)
+		if err != nil {
+			return err
+		}
+		if err := a.assignable(sig.Params[i], t, arg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildCallGraph estimates per-function stack bounds by depth-first walk of
+// the call graph — the AFT phase-1 stack analysis. Recursion makes a bound
+// impossible (-1), exactly the condition the paper notes forces the AFT to
+// fall back to a default stack and rely on the MPU to catch overflow.
+func (a *analyzer) buildCallGraph() {
+	memo := make(map[string]int)
+	onPath := make(map[string]bool)
+	var depth func(name string) int
+	depth = func(name string) int {
+		fi, ok := a.out.Funcs[name]
+		if !ok {
+			return 0
+		}
+		if v, done := memo[name]; done {
+			return v
+		}
+		if onPath[name] {
+			fi.Recursive = true
+			fi.MaxStack = -1
+			a.out.Recursive = true
+			return -1
+		}
+		onPath[name] = true
+		defer delete(onPath, name)
+		worst := 0
+		for _, callee := range fi.Callees {
+			d := depth(callee)
+			if d < 0 {
+				memo[name] = -1
+				fi.Recursive = true
+				fi.MaxStack = -1
+				return -1
+			}
+			if d+callOverheadBytes > worst {
+				worst = d + callOverheadBytes
+			}
+		}
+		if fi.FuncPtrCall {
+			// Indirect targets are unknowable statically; assume one more
+			// frame of gate-sized depth (documented approximation).
+			if GateAppStackBytes+callOverheadBytes > worst {
+				worst = GateAppStackBytes + callOverheadBytes
+			}
+		}
+		if len(fi.APICalls) > 0 && GateAppStackBytes > worst {
+			worst = GateAppStackBytes
+		}
+		v := fi.FrameBytes + worst
+		memo[name] = v
+		fi.MaxStack = v
+		return v
+	}
+	max := 0
+	for name := range a.out.Funcs {
+		d := depth(name)
+		if d < 0 {
+			max = -1
+			break
+		}
+		// Entered via the dispatch veneer: add the call overhead once.
+		if d+callOverheadBytes > max {
+			max = d + callOverheadBytes
+		}
+	}
+	a.out.MaxStack = max
+}

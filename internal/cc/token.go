@@ -1,0 +1,84 @@
+// Package cc implements the AmuletC compiler: a small C dialect for
+// event-driven Amulet applications, compiled to the simulated MSP430-class
+// ISA. The compiler is the vehicle for the paper's contribution — it is
+// where isolation checks are inserted:
+//
+//   - DialectRestricted reproduces the original Amulet C: no pointers, no
+//     recursion, no function pointers; every dynamically-indexed array
+//     access is routed through a bounds-checking runtime helper call
+//     (the "Feature Limited" memory model).
+//   - DialectFull allows pointers (including function pointers) and
+//     recursion; the isolation mode decides what is emitted around each
+//     computed memory access: nothing (NoIsolation), a lower-bound compare
+//     (MPU), or lower+upper compares (SoftwareOnly).
+//
+// The pipeline is Lex -> Parse -> Analyze -> Generate; Compile runs it all.
+package cc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier, keyword, punct text
+	Num  int32  // value for TokNumber and TokChar
+	Str  string // decoded value for TokString
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokNumber:
+		return fmt.Sprintf("number %d", t.Num)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Str)
+	case TokChar:
+		return fmt.Sprintf("char %q", rune(t.Num))
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "uint": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"const": true, "goto": true, "asm": true,
+	// Reserved to give good errors on unsupported C:
+	"struct": true, "union": true, "switch": true, "case": true,
+	"default": true, "do": true, "sizeof": true, "static": true,
+	"typedef": true, "enum": true, "float": true, "double": true,
+	"long": true, "short": true, "signed": true, "unsigned": true,
+}
+
+// Error is a compile-time diagnostic.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("cc: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{line, col, fmt.Sprintf(format, args...)}
+}

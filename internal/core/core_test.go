@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"amuletiso/internal/apps"
+)
+
+func TestNewSystemAndRun(t *testing.T) {
+	list := []apps.App{apps.Suite()[0], apps.Suite()[1]}
+	for _, mode := range Modes {
+		sys, err := NewSystem(list, mode)
+		if err != nil {
+			t.Fatalf("[%v] %v", mode, err)
+		}
+		if n := sys.RunFor(2000); n == 0 {
+			t.Fatalf("[%v] no events ran", mode)
+		}
+		if len(sys.Kernel.Faults) != 0 {
+			t.Fatalf("[%v] faults: %v", mode, sys.Kernel.Faults)
+		}
+	}
+}
+
+func TestTable1RenderIncludesPaperRows(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{"Memory Access", "Context Switch", "(paper)", "142"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Sanity: measured values are in a plausible band of the paper's.
+	if r.MemoryAccess[NoIsolation] < 10 || r.MemoryAccess[NoIsolation] > 60 {
+		t.Errorf("baseline memory access %.1f out of band", r.MemoryAccess[NoIsolation])
+	}
+	if r.ContextSwitch[MPU] < r.ContextSwitch[NoIsolation]+20 {
+		t.Errorf("MPU switch uplift too small: %v", r.ContextSwitch)
+	}
+}
+
+func TestFigure3SmallIterationCount(t *testing.T) {
+	r, err := Figure3(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iterations != 10 {
+		t.Fatal("iteration count not honored")
+	}
+	for _, b := range Figure3Benches {
+		if r.BaseCycles[b] == 0 {
+			t.Fatalf("%s: no baseline cycles", b)
+		}
+	}
+	if !strings.Contains(r.String(), "Quicksort") {
+		t.Error("render missing benchmark name")
+	}
+}
+
+func TestFigure2SingleWindowRender(t *testing.T) {
+	r, err := Figure2(30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, app := range apps.Suite() {
+		if !strings.Contains(out, app.Title) {
+			t.Errorf("render missing %s", app.Title)
+		}
+	}
+	if r.MaxBatteryImpact() >= 0.5 {
+		t.Errorf("battery impact %.3f%% violates the paper's claim", r.MaxBatteryImpact())
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"amuletiso/internal/arp"
+)
+
+// Figure2Result reproduces the paper's Figure 2: weekly isolation overhead
+// (billions of cycles) and battery-lifetime impact for the nine Amulet
+// applications under the three isolation methods.
+type Figure2Result struct {
+	Overheads []*arp.Overhead
+	SampleMS  uint64
+}
+
+// Figure2 profiles the whole suite with the ARP pipeline. sampleMS=0 uses
+// the default 20-minute window (one full activity cycle of the wearer
+// model).
+func Figure2(sampleMS uint64) (*Figure2Result, error) {
+	if sampleMS == 0 {
+		sampleMS = arp.DefaultSampleMS
+	}
+	ovs, err := arp.MeasureSuite(sampleMS)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure2Result{Overheads: ovs, SampleMS: sampleMS}, nil
+}
+
+// MaxBatteryImpact returns the worst battery impact across all bars — the
+// paper's headline claim is that this stays under 0.5%.
+func (r *Figure2Result) MaxBatteryImpact() float64 {
+	max := 0.0
+	for _, o := range r.Overheads {
+		if o.BatteryImpactPct > max {
+			max = o.BatteryImpactPct
+		}
+	}
+	return max
+}
+
+// String renders the figure as a table: one row per app, one column pair
+// (billions of cycles / battery %) per isolation method.
+func (r *Figure2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(
+		"Figure 2: isolation overhead per week and battery impact (sample window %d min)\n",
+		r.SampleMS/60000))
+	sb.WriteString(fmt.Sprintf("%-15s", "Application"))
+	for _, m := range arp.Figure2Modes {
+		sb.WriteString(fmt.Sprintf("%22s", m.String()+" Gcyc/wk(%batt)"))
+	}
+	sb.WriteString("\n")
+	byApp := map[string]map[Mode]*arp.Overhead{}
+	var order []string
+	for _, o := range r.Overheads {
+		if byApp[o.Title] == nil {
+			byApp[o.Title] = map[Mode]*arp.Overhead{}
+			order = append(order, o.Title)
+		}
+		byApp[o.Title][o.Mode] = o
+	}
+	for _, title := range order {
+		sb.WriteString(fmt.Sprintf("%-15s", title))
+		for _, m := range arp.Figure2Modes {
+			o := byApp[title][m]
+			if o == nil {
+				sb.WriteString(fmt.Sprintf("%22s", "-"))
+				continue
+			}
+			sb.WriteString(fmt.Sprintf("%14.3f(%5.3f%%)", o.BillionsPerWeek, o.BatteryImpactPct))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString(fmt.Sprintf("max battery impact: %.3f%% (paper: < 0.5%% for all)\n", r.MaxBatteryImpact()))
+	return sb.String()
+}

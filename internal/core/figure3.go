@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cpu"
+)
+
+// Figure3Result reproduces the paper's Figure 3: percentage slowdown of
+// each benchmark application under each isolation method, against the
+// NoIsolation baseline. Timing uses the hardware timer (16-cycle
+// precision), exactly as the paper's measurement did.
+type Figure3Result struct {
+	// Slowdown[bench][mode] is percent slowdown vs NoIsolation.
+	Slowdown map[string]map[Mode]float64
+	// BaseCycles[bench] is the NoIsolation total for the run.
+	BaseCycles map[string]uint64
+	Iterations int
+}
+
+// Figure3Benches names the three benchmark workloads in figure order.
+var Figure3Benches = []string{"Activity Case 1", "Activity Case 2", "Quicksort"}
+
+// figure3Spec maps a bench name to its app and trigger event.
+func figure3Spec(name string) (apps.App, uint16) {
+	switch name {
+	case "Activity Case 1":
+		return apps.Activity(), apps.EvCase1
+	case "Activity Case 2":
+		return apps.Activity(), apps.EvCase2
+	default:
+		return apps.Quicksort(), apps.EvSort
+	}
+}
+
+// Figure3 runs every benchmark `iters` times under every mode (the paper
+// used 200 iterations) and reports slowdowns.
+func Figure3(iters int) (*Figure3Result, error) {
+	if iters <= 0 {
+		iters = 200
+	}
+	res := &Figure3Result{
+		Slowdown:   map[string]map[Mode]float64{},
+		BaseCycles: map[string]uint64{},
+		Iterations: iters,
+	}
+	for _, bench := range Figure3Benches {
+		app, ev := figure3Spec(bench)
+		totals := map[Mode]uint64{}
+		for _, mode := range Modes {
+			k, err := benchKernel(app, mode)
+			if err != nil {
+				return nil, fmt.Errorf("figure3 %s/%v: %w", bench, mode, err)
+			}
+			var total uint64
+			for i := 0; i < iters; i++ {
+				// Measure with the hardware timer, as the paper did:
+				// reset TAR, run one iteration, read TAR (x16 cycles).
+				k.Bus.Poke16(cpu.TimerTAR, 0)
+				t0 := k.Bus.Peek16(cpu.TimerTAR)
+				if _, err := measureEvent(k, ev, uint16(i)); err != nil {
+					return nil, fmt.Errorf("figure3 %s/%v iter %d: %w", bench, mode, i, err)
+				}
+				t1 := k.Bus.Peek16(cpu.TimerTAR)
+				total += uint64(t1-t0) * cpu.TimerPrescale
+			}
+			totals[mode] = total
+		}
+		base := totals[NoIsolation]
+		res.BaseCycles[bench] = base
+		res.Slowdown[bench] = map[Mode]float64{}
+		for _, mode := range Modes {
+			if mode == NoIsolation {
+				continue
+			}
+			res.Slowdown[bench][mode] = 100 * (float64(totals[mode]) - float64(base)) / float64(base)
+		}
+	}
+	return res, nil
+}
+
+// String renders the figure as a table.
+func (r *Figure3Result) String() string {
+	var sb strings.Builder
+	order := []Mode{FeatureLimited, MPU, SoftwareOnly}
+	sb.WriteString(fmt.Sprintf("Figure 3: percentage slowdown vs NoIsolation (%d iterations, hardware-timer measured)\n", r.Iterations))
+	sb.WriteString(fmt.Sprintf("%-18s", "Benchmark"))
+	for _, m := range order {
+		sb.WriteString(fmt.Sprintf("%16s", m))
+	}
+	sb.WriteString(fmt.Sprintf("%16s\n", "base cycles"))
+	for _, bench := range Figure3Benches {
+		sb.WriteString(fmt.Sprintf("%-18s", bench))
+		for _, m := range order {
+			sb.WriteString(fmt.Sprintf("%15.1f%%", r.Slowdown[bench][m]))
+		}
+		sb.WriteString(fmt.Sprintf("%16d\n", r.BaseCycles[bench]))
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"amuletiso/internal/apps"
+)
+
+// Table1Result reproduces the paper's Table 1: average cycle counts of the
+// two primitive operations that incur memory-protection overhead, per
+// memory model.
+type Table1Result struct {
+	// MemoryAccess is the average cycles of one checked array/pointer
+	// write-after-read operation (the synthetic app's canonical op).
+	MemoryAccess map[Mode]float64
+	// ContextSwitch is the average cycles of one full API round trip
+	// through a pointer-carrying gate (app -> OS -> app).
+	ContextSwitch map[Mode]float64
+	// YieldSwitch is the same through the cheapest gate (no pointer
+	// validation) — an ablation showing the validation share.
+	YieldSwitch map[Mode]float64
+}
+
+// table1Iters is the measurement batch size; the paper used 200 runs.
+const table1Iters = 200
+
+// Table1 measures the synthetic app under every mode. Per-operation cost
+// uses the two-batch difference trick — cost(2N) - cost(N) divided by N —
+// which cancels the dispatch veneer and loop-setup overhead exactly.
+func Table1() (*Table1Result, error) {
+	res := &Table1Result{
+		MemoryAccess:  map[Mode]float64{},
+		ContextSwitch: map[Mode]float64{},
+		YieldSwitch:   map[Mode]float64{},
+	}
+	synth := apps.Synthetic()
+	for _, mode := range Modes {
+		k, err := benchKernel(synth, mode)
+		if err != nil {
+			return nil, err
+		}
+		perOp := func(ev uint16) (float64, error) {
+			c1, err := measureEvent(k, ev, table1Iters)
+			if err != nil {
+				return 0, err
+			}
+			c2, err := measureEvent(k, ev, 2*table1Iters)
+			if err != nil {
+				return 0, err
+			}
+			return float64(c2-c1) / table1Iters, nil
+		}
+		mem, err := perOp(apps.EvMemOps)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %v mem: %w", mode, err)
+		}
+		// The canonical op reads and writes one slot: two checked accesses
+		// per loop iteration, so halve to get the per-access figure.
+		mem /= 2
+		gate, err := perOp(apps.EvGateOps)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %v gate: %w", mode, err)
+		}
+		yld, err := perOp(apps.EvYieldOps)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %v yield: %w", mode, err)
+		}
+		res.MemoryAccess[mode] = mem
+		res.ContextSwitch[mode] = gate
+		res.YieldSwitch[mode] = yld
+	}
+	return res, nil
+}
+
+// PaperTable1 holds the published values for side-by-side reporting.
+var PaperTable1 = struct {
+	MemoryAccess  map[Mode]float64
+	ContextSwitch map[Mode]float64
+}{
+	MemoryAccess:  map[Mode]float64{NoIsolation: 23, FeatureLimited: 41, MPU: 29, SoftwareOnly: 32},
+	ContextSwitch: map[Mode]float64{NoIsolation: 90, FeatureLimited: 90, MPU: 142, SoftwareOnly: 98},
+}
+
+// String renders the result next to the paper's numbers.
+func (r *Table1Result) String() string {
+	var sb strings.Builder
+	order := []Mode{NoIsolation, FeatureLimited, MPU, SoftwareOnly}
+	sb.WriteString("Table 1: average cycle count for basic memory isolation operations\n")
+	sb.WriteString(fmt.Sprintf("%-24s", "Operation"))
+	for _, m := range order {
+		sb.WriteString(fmt.Sprintf("%16s", m))
+	}
+	sb.WriteString("\n")
+	row := func(name string, vals map[Mode]float64, paper map[Mode]float64) {
+		sb.WriteString(fmt.Sprintf("%-24s", name))
+		for _, m := range order {
+			sb.WriteString(fmt.Sprintf("%16.1f", vals[m]))
+		}
+		sb.WriteString("\n")
+		if paper != nil {
+			sb.WriteString(fmt.Sprintf("%-24s", "  (paper)"))
+			for _, m := range order {
+				sb.WriteString(fmt.Sprintf("%16.0f", paper[m]))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	row("Memory Access", r.MemoryAccess, PaperTable1.MemoryAccess)
+	row("Context Switch", r.ContextSwitch, PaperTable1.ContextSwitch)
+	row("Yield Switch (ablation)", r.YieldSwitch, nil)
+	return sb.String()
+}

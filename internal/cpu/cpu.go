@@ -1,0 +1,223 @@
+// Package cpu implements the execution core of the simulated MSP430-class
+// MCU: fetch/decode/execute for the full ISA defined in internal/isa, status
+// flags, CALL/PUSH/RETI and interrupt entry, a cycle counter with the TI
+// per-instruction costs, a Timer_A-style hardware timer (16-cycle
+// resolution, as used by the paper's Figure 3 measurements), and debug ports
+// used by the OS gates (syscall, halt, console).
+//
+// The CPU performs every data access and instruction fetch through the
+// checked mem.Bus, so MPU enforcement and access profiling both observe real
+// executed traffic.
+package cpu
+
+import (
+	"fmt"
+
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// StopReason explains why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopBudget StopReason = iota // cycle budget exhausted
+	StopHalt                     // program wrote the halt port
+	StopFault                    // memory violation or illegal instruction
+	StopCPUOff                   // CPUOFF set in SR (low-power idle)
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopBudget:
+		return "budget"
+	case StopHalt:
+		return "halt"
+	case StopFault:
+		return "fault"
+	case StopCPUOff:
+		return "cpuoff"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// Fault describes an aborted instruction.
+type Fault struct {
+	PC        uint16         // address of the faulting instruction
+	Violation *mem.Violation // non-nil for memory-protection faults
+	Reason    string         // non-empty for decode or execution faults
+}
+
+func (f *Fault) Error() string {
+	if f.Violation != nil {
+		return fmt.Sprintf("cpu: fault at PC=0x%04X: %v", f.PC, f.Violation)
+	}
+	return fmt.Sprintf("cpu: fault at PC=0x%04X: %s", f.PC, f.Reason)
+}
+
+// CPU is the execution core.
+type CPU struct {
+	Regs [isa.NumRegs]uint16
+	Bus  *mem.Bus
+
+	// Cycles is the master clock: total CPU cycles executed since reset,
+	// including cycles charged by syscall services.
+	Cycles uint64
+
+	// Insns counts retired instructions.
+	Insns uint64
+
+	// OnSyscall is invoked when code writes the syscall port. The handler
+	// may modify registers (return values), charge Cycles, or halt.
+	OnSyscall func(id uint16)
+
+	// Halted latches after a halt-port write; ExitCode carries the value.
+	Halted   bool
+	ExitCode uint16
+
+	// Console accumulates bytes written to the console port.
+	Console []byte
+
+	pendingIRQ []uint16 // queued interrupt vector addresses
+}
+
+// New returns a CPU attached to bus with PC/SP zeroed. Callers must set PC
+// (and usually SP) before Run.
+func New(bus *mem.Bus) *CPU {
+	c := &CPU{Bus: bus}
+	bus.Map(portBase, portLimit, &portDevice{c})
+	bus.Map(TimerBase, TimerBase+0x1E, &TimerA{c: c})
+	bus.Map(MPYBase, MPYResHi+1, &MPY32{})
+	return c
+}
+
+// Register accessors; PC and SP keep architectural alignment.
+
+// PC returns the program counter.
+func (c *CPU) PC() uint16 { return c.Regs[isa.PC] }
+
+// SetPC sets the program counter (bit 0 forced clear).
+func (c *CPU) SetPC(v uint16) { c.Regs[isa.PC] = v &^ 1 }
+
+// SP returns the stack pointer.
+func (c *CPU) SP() uint16 { return c.Regs[isa.SP] }
+
+// SetSP sets the stack pointer (bit 0 forced clear).
+func (c *CPU) SetSP(v uint16) { c.Regs[isa.SP] = v &^ 1 }
+
+// SRBits returns the status register.
+func (c *CPU) SRBits() uint16 { return c.Regs[isa.SR] }
+
+// flag helpers
+func (c *CPU) flag(bit uint16) bool { return c.Regs[isa.SR]&bit != 0 }
+
+func (c *CPU) setFlag(bit uint16, on bool) {
+	if on {
+		c.Regs[isa.SR] |= bit
+	} else {
+		c.Regs[isa.SR] &^= bit
+	}
+}
+
+// push writes v to the pre-decremented stack.
+func (c *CPU) push(v uint16) *mem.Violation {
+	c.Regs[isa.SP] -= 2
+	return c.Bus.Write16(c.Regs[isa.SP], v)
+}
+
+// pop reads from the stack and post-increments.
+func (c *CPU) pop() (uint16, *mem.Violation) {
+	v, viol := c.Bus.Read16(c.Regs[isa.SP])
+	if viol != nil {
+		return 0, viol
+	}
+	c.Regs[isa.SP] += 2
+	return v, nil
+}
+
+// RequestInterrupt queues an interrupt whose vector word lives at vecAddr
+// (for example 0xFFF2). It is accepted before the next instruction if GIE is
+// set.
+func (c *CPU) RequestInterrupt(vecAddr uint16) {
+	c.pendingIRQ = append(c.pendingIRQ, vecAddr)
+}
+
+// serviceInterrupt performs interrupt entry for the first pending vector.
+func (c *CPU) serviceInterrupt() *Fault {
+	vec := c.pendingIRQ[0]
+	c.pendingIRQ = c.pendingIRQ[1:]
+	if v := c.push(c.Regs[isa.PC]); v != nil {
+		return &Fault{PC: c.PC(), Violation: v}
+	}
+	if v := c.push(c.Regs[isa.SR]); v != nil {
+		return &Fault{PC: c.PC(), Violation: v}
+	}
+	c.setFlag(isa.FlagGIE, false)
+	c.setFlag(isa.FlagCPUOFF, false)
+	target := c.Bus.Peek16(vec)
+	c.SetPC(target)
+	c.Cycles += uint64(isa.InterruptCycles)
+	return nil
+}
+
+// Step executes one instruction (servicing a pending interrupt first).
+// It returns a non-nil *Fault if the instruction could not complete; CPU
+// state is left as of the fault for inspection.
+func (c *CPU) Step() *Fault {
+	if len(c.pendingIRQ) > 0 && c.flag(isa.FlagGIE) {
+		if f := c.serviceInterrupt(); f != nil {
+			return f
+		}
+	}
+	pc := c.PC()
+	in, size, err := isa.Decode(c.Bus, pc)
+	if err != nil {
+		return &Fault{PC: pc, Reason: err.Error()}
+	}
+	// Charge the fetch through the checked path (execute permission).
+	for off := uint16(0); off < size; off += 2 {
+		if _, viol := c.Bus.Fetch16(pc + off); viol != nil {
+			return &Fault{PC: pc, Violation: viol}
+		}
+	}
+	c.SetPC(pc + size)
+	f := c.exec(pc, size, in)
+	if f == nil {
+		c.Cycles += uint64(isa.Cycles(in))
+		c.Insns++
+	}
+	return f
+}
+
+// Run executes until the cycle budget is exceeded, the CPU halts, faults, or
+// enters CPUOFF. The budget is a limit on additional cycles from the call.
+func (c *CPU) Run(budget uint64) (StopReason, *Fault) {
+	limit := c.Cycles + budget
+	for {
+		if c.Halted {
+			return StopHalt, nil
+		}
+		if c.flag(isa.FlagCPUOFF) {
+			return StopCPUOff, nil
+		}
+		if c.Cycles >= limit {
+			return StopBudget, nil
+		}
+		if f := c.Step(); f != nil {
+			return StopFault, f
+		}
+	}
+}
+
+// Reset clears registers, cycle state and latches (memory is untouched).
+func (c *CPU) Reset() {
+	c.Regs = [isa.NumRegs]uint16{}
+	c.Cycles = 0
+	c.Insns = 0
+	c.Halted = false
+	c.ExitCode = 0
+	c.Console = nil
+	c.pendingIRQ = nil
+}

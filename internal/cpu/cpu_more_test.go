@@ -1,0 +1,226 @@
+package cpu
+
+import (
+	"testing"
+
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// Deeper semantic coverage: byte-mode behaviour of every ALU operation,
+// multi-word carry chains, BCD counters, and the MPY32 multiplier.
+
+func TestByteModeMemoryRMW(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x7FFF), Dst: isa.Abs(0x1C00)},
+		isa.Instr{Op: isa.ADD, Byte: true, Src: isa.Imm(1), Dst: isa.Abs(0x1C00)},
+	)
+	run(t, c, 2)
+	// Byte RMW touches only the low byte: 0xFF+1 wraps to 0x00, high byte
+	// untouched.
+	if got := c.Bus.Peek16(0x1C00); got != 0x7F00 {
+		t.Fatalf("byte RMW = %04X, want 7F00", got)
+	}
+	if !c.flag(isa.FlagC) || !c.flag(isa.FlagZ) {
+		t.Fatal("byte wrap should set C and Z")
+	}
+}
+
+func TestMultiWordAddWithCarry(t *testing.T) {
+	// 32-bit add: 0x0001FFFF + 0x00000001 = 0x00020000 via ADD/ADDC.
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0xFFFF), Dst: isa.RegOp(isa.R4)}, // low
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0001), Dst: isa.RegOp(isa.R5)}, // high
+		isa.Instr{Op: isa.ADD, Src: isa.Imm(1), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.ADDC, Src: isa.Imm(0), Dst: isa.RegOp(isa.R5)},
+	)
+	run(t, c, 4)
+	if c.Regs[isa.R4] != 0 || c.Regs[isa.R5] != 2 {
+		t.Fatalf("32-bit add = %04X:%04X, want 0002:0000", c.Regs[isa.R5], c.Regs[isa.R4])
+	}
+}
+
+func TestMultiWordSubWithBorrow(t *testing.T) {
+	// 0x00020000 - 1 = 0x0001FFFF via SUB/SUBC.
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0000), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0002), Dst: isa.RegOp(isa.R5)},
+		isa.Instr{Op: isa.SUB, Src: isa.Imm(1), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.SUBC, Src: isa.Imm(0), Dst: isa.RegOp(isa.R5)},
+	)
+	run(t, c, 4)
+	if c.Regs[isa.R4] != 0xFFFF || c.Regs[isa.R5] != 1 {
+		t.Fatalf("32-bit sub = %04X:%04X, want 0001:FFFF", c.Regs[isa.R5], c.Regs[isa.R4])
+	}
+}
+
+func TestDADDAsDecimalCounter(t *testing.T) {
+	// Increment 0x0099 (BCD 99) by 1 -> 0x0100 (BCD 100).
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0099), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.BIC, Src: isa.Imm(isa.FlagC), Dst: isa.RegOp(isa.SR)},
+		isa.Instr{Op: isa.DADD, Src: isa.Imm(1), Dst: isa.RegOp(isa.R4)},
+		// Chain a second word: carry-out of 0x9999 + 1.
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x9999), Dst: isa.RegOp(isa.R5)},
+		isa.Instr{Op: isa.BIC, Src: isa.Imm(isa.FlagC), Dst: isa.RegOp(isa.SR)},
+		isa.Instr{Op: isa.DADD, Src: isa.Imm(1), Dst: isa.RegOp(isa.R5)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.RegOp(isa.R6)},
+		isa.Instr{Op: isa.DADD, Src: isa.Imm(0), Dst: isa.RegOp(isa.R6)}, // DADC
+	)
+	run(t, c, 8)
+	if c.Regs[isa.R4] != 0x0100 {
+		t.Fatalf("BCD 99+1 = %04X", c.Regs[isa.R4])
+	}
+	if c.Regs[isa.R5] != 0x0000 || c.Regs[isa.R6] != 1 {
+		t.Fatalf("BCD 9999+1 = %04X carry %04X", c.Regs[isa.R5], c.Regs[isa.R6])
+	}
+}
+
+func TestBITSetsFlagsWithoutWriting(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x00F0), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.BIT, Src: isa.Imm(0x0010), Dst: isa.RegOp(isa.R4)},
+	)
+	run(t, c, 2)
+	if c.Regs[isa.R4] != 0x00F0 {
+		t.Fatal("BIT wrote its destination")
+	}
+	if c.flag(isa.FlagZ) || !c.flag(isa.FlagC) {
+		t.Fatal("BIT nonzero: want Z=0 C=1")
+	}
+}
+
+func TestRRCByteMode(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0001), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.BIS, Src: isa.Imm(isa.FlagC), Dst: isa.RegOp(isa.SR)},
+		isa.Instr{Op: isa.RRC, Byte: true, Src: isa.RegOp(isa.R4)},
+	)
+	run(t, c, 3)
+	// Carry rotates into bit 7 of the byte, bit 0 out to carry.
+	if c.Regs[isa.R4] != 0x0080 {
+		t.Fatalf("RRC.B = %04X, want 0080", c.Regs[isa.R4])
+	}
+	if !c.flag(isa.FlagC) {
+		t.Fatal("carry out lost")
+	}
+}
+
+func TestSXTByteInMemory(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0080), Dst: isa.Abs(0x1C10)},
+		isa.Instr{Op: isa.SXT, Src: isa.Abs(0x1C10)},
+	)
+	run(t, c, 2)
+	if got := c.Bus.Peek16(0x1C10); got != 0xFF80 {
+		t.Fatalf("SXT &mem = %04X, want FF80", got)
+	}
+}
+
+func TestMPY32Device(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(1234), Dst: isa.Abs(MPYOp1)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(567), Dst: isa.Abs(MPYOp2)},
+		isa.Instr{Op: isa.MOV, Src: isa.Abs(MPYResLo), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.MOV, Src: isa.Abs(MPYResHi), Dst: isa.RegOp(isa.R5)},
+	)
+	run(t, c, 4)
+	want := uint32(1234) * 567
+	got := uint32(c.Regs[isa.R4]) | uint32(c.Regs[isa.R5])<<16
+	if got != want {
+		t.Fatalf("MPY32 = %d, want %d", got, want)
+	}
+	// Signed path: -3 * 5 = -15 across the full 32 bits.
+	c2 := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0xFFFD), Dst: isa.Abs(MPYOp1S)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(5), Dst: isa.Abs(MPYOp2)},
+		isa.Instr{Op: isa.MOV, Src: isa.Abs(MPYResLo), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.MOV, Src: isa.Abs(MPYResHi), Dst: isa.RegOp(isa.R5)},
+	)
+	run(t, c2, 4)
+	if c2.Regs[isa.R4] != 0xFFF1 || c2.Regs[isa.R5] != 0xFFFF {
+		t.Fatalf("signed MPY = %04X:%04X, want FFFF:FFF1", c2.Regs[isa.R5], c2.Regs[isa.R4])
+	}
+}
+
+func TestJNJumpOnNegative(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0xFFFF), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.CMP, Src: isa.Imm(0), Dst: isa.RegOp(isa.R4)}, // N=1
+		isa.Instr{Op: isa.JN, Dst: isa.Operand{Mode: isa.ModeNone, X: 2}},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0x0BAD), Dst: isa.RegOp(isa.R5)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(1), Dst: isa.RegOp(isa.R6)},
+	)
+	run(t, c, 4)
+	if c.Regs[isa.R5] == 0x0BAD || c.Regs[isa.R6] != 1 {
+		t.Fatal("JN did not jump on negative")
+	}
+}
+
+func TestStackedInterrupts(t *testing.T) {
+	bus := mem.NewBus()
+	c := New(bus)
+	place := func(addr uint16, ins ...isa.Instr) {
+		for _, in := range ins {
+			for _, w := range isa.MustEncode(in) {
+				bus.Poke16(addr, w)
+				addr += 2
+			}
+		}
+	}
+	place(0x4400,
+		isa.Instr{Op: isa.BIS, Src: isa.Imm(8), Dst: isa.RegOp(isa.SR)},
+		isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R4), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R4), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R4), Dst: isa.RegOp(isa.R4)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.Abs(PortHalt)},
+	)
+	place(0x5000,
+		isa.Instr{Op: isa.ADD, Src: isa.Imm(1), Dst: isa.RegOp(isa.R15)},
+		isa.Instr{Op: isa.BIS, Src: isa.Imm(8), Dst: isa.RegOp(isa.SR)}, // re-enable in handler
+		isa.Instr{Op: isa.RETI},
+	)
+	bus.Poke16(0xFFF2, 0x5000)
+	c.SetPC(0x4400)
+	c.SetSP(0x2400)
+	if f := c.Step(); f != nil { // EINT
+		t.Fatal(f)
+	}
+	c.RequestInterrupt(0xFFF2)
+	c.RequestInterrupt(0xFFF2)
+	reason, f := c.Run(10_000)
+	if f != nil || reason != StopHalt {
+		t.Fatalf("%v %v", reason, f)
+	}
+	if c.Regs[isa.R15] != 2 {
+		t.Fatalf("handler ran %d times, want 2", c.Regs[isa.R15])
+	}
+	if c.SP() != 0x2400 {
+		t.Fatalf("SP unbalanced: %04X", c.SP())
+	}
+}
+
+func TestRunBudgetStopsMidLoop(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.JMP, Dst: isa.Operand{Mode: isa.ModeNone, X: 0xFFFF}}, // self-loop
+	)
+	reason, f := c.Run(100)
+	if f != nil || reason != StopBudget {
+		t.Fatalf("%v %v", reason, f)
+	}
+	if c.Cycles < 100 {
+		t.Fatalf("stopped early at %d cycles", c.Cycles)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	c := load(t,
+		isa.Instr{Op: isa.MOV, Src: isa.Imm('x'), Dst: isa.Abs(PortConsole)},
+		isa.Instr{Op: isa.MOV, Src: isa.Imm(3), Dst: isa.Abs(PortHalt)},
+	)
+	c.Run(100)
+	c.Reset()
+	if c.Cycles != 0 || c.Insns != 0 || c.Halted || len(c.Console) != 0 || c.ExitCode != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,367 @@
+package cpu
+
+import (
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// operand location: either a register or a memory address.
+type location struct {
+	isReg bool
+	reg   isa.Reg
+	addr  uint16
+}
+
+// resolveSrc computes the source operand's value and location. extBase is the
+// address of this operand's extension word (if any). Autoincrement side
+// effects happen here, as on hardware.
+func (c *CPU) resolveSrc(in isa.Instr, extBase uint16) (val uint16, loc location, viol *mem.Violation) {
+	o := in.Src
+	switch o.Mode {
+	case isa.ModeRegister:
+		return c.readReg(o.Reg, in.Byte), location{isReg: true, reg: o.Reg}, nil
+	case isa.ModeImmediate:
+		v := o.X
+		if in.Byte {
+			v &= 0xFF
+		}
+		return v, location{}, nil
+	case isa.ModeIndexed:
+		base := c.Regs[o.Reg]
+		if o.Reg == isa.PC {
+			base = extBase // symbolic: PC-relative to the extension word
+		}
+		addr := base + o.X
+		v, viol := c.readMem(addr, in.Byte)
+		return v, location{addr: addr}, viol
+	case isa.ModeAbsolute:
+		v, viol := c.readMem(o.X, in.Byte)
+		return v, location{addr: o.X}, viol
+	case isa.ModeIndirect:
+		addr := c.Regs[o.Reg]
+		v, viol := c.readMem(addr, in.Byte)
+		return v, location{addr: addr}, viol
+	case isa.ModeIndirectInc:
+		addr := c.Regs[o.Reg]
+		v, viol := c.readMem(addr, in.Byte)
+		if viol == nil {
+			inc := uint16(2)
+			if in.Byte && o.Reg != isa.SP {
+				inc = 1 // SP always stays word-aligned
+			}
+			c.Regs[o.Reg] += inc
+		}
+		return v, location{addr: addr}, viol
+	}
+	return 0, location{}, nil
+}
+
+// resolveDst computes the destination location and, when needed, its current
+// value. extAddr is the address of the destination extension word.
+func (c *CPU) resolveDst(in isa.Instr, extAddr uint16, needRead bool) (val uint16, loc location, viol *mem.Violation) {
+	o := in.Dst
+	switch o.Mode {
+	case isa.ModeRegister:
+		loc = location{isReg: true, reg: o.Reg}
+		if needRead {
+			val = c.readReg(o.Reg, in.Byte)
+		}
+		return val, loc, nil
+	case isa.ModeIndexed:
+		base := c.Regs[o.Reg]
+		if o.Reg == isa.PC {
+			base = extAddr
+		}
+		loc = location{addr: base + o.X}
+	case isa.ModeAbsolute:
+		loc = location{addr: o.X}
+	default:
+		return 0, location{}, nil
+	}
+	if needRead {
+		val, viol = c.readMem(loc.addr, in.Byte)
+	}
+	return val, loc, viol
+}
+
+func (c *CPU) readReg(r isa.Reg, byteOp bool) uint16 {
+	v := c.Regs[r]
+	if byteOp {
+		v &= 0xFF
+	}
+	return v
+}
+
+func (c *CPU) readMem(addr uint16, byteOp bool) (uint16, *mem.Violation) {
+	if byteOp {
+		v, viol := c.Bus.Read8(addr)
+		return uint16(v), viol
+	}
+	return c.Bus.Read16(addr)
+}
+
+// writeLoc stores a result to a register or memory, honoring byte semantics
+// (byte writes to registers clear the high byte, as on MSP430).
+func (c *CPU) writeLoc(loc location, v uint16, byteOp bool) *mem.Violation {
+	if loc.isReg {
+		if byteOp {
+			v &= 0xFF
+		}
+		c.Regs[loc.reg] = v
+		if loc.reg == isa.PC || loc.reg == isa.SP {
+			c.Regs[loc.reg] &^= 1
+		}
+		return nil
+	}
+	if byteOp {
+		return c.Bus.Write8(loc.addr, uint8(v))
+	}
+	return c.Bus.Write16(loc.addr, v)
+}
+
+// setNZ sets N and Z for a result of the given width.
+func (c *CPU) setNZ(res uint16, byteOp bool) {
+	if byteOp {
+		c.setFlag(isa.FlagN, res&0x80 != 0)
+		c.setFlag(isa.FlagZ, res&0xFF == 0)
+	} else {
+		c.setFlag(isa.FlagN, res&0x8000 != 0)
+		c.setFlag(isa.FlagZ, res == 0)
+	}
+}
+
+// addCore performs dst + src + carryIn with full flag computation.
+func (c *CPU) addCore(dst, src, carryIn uint16, byteOp bool) uint16 {
+	var mask, sign uint32 = 0xFFFF, 0x8000
+	if byteOp {
+		mask, sign = 0xFF, 0x80
+	}
+	d, s := uint32(dst)&mask, uint32(src)&mask
+	sum := d + s + uint32(carryIn)
+	res := sum & mask
+	c.setFlag(isa.FlagC, sum > mask)
+	c.setFlag(isa.FlagV, (^(d^s)&(d^res))&sign != 0)
+	c.setNZ(uint16(res), byteOp)
+	return uint16(res)
+}
+
+// exec executes a decoded instruction. pc is the instruction address, size
+// its encoded size in bytes. The PC register has already been advanced.
+func (c *CPU) exec(pc, size uint16, in isa.Instr) *Fault {
+	mkFault := func(v *mem.Violation) *Fault { return &Fault{PC: pc, Violation: v} }
+
+	switch {
+	case in.Op.IsJump():
+		taken := false
+		switch in.Op {
+		case isa.JNE:
+			taken = !c.flag(isa.FlagZ)
+		case isa.JEQ:
+			taken = c.flag(isa.FlagZ)
+		case isa.JNC:
+			taken = !c.flag(isa.FlagC)
+		case isa.JC:
+			taken = c.flag(isa.FlagC)
+		case isa.JN:
+			taken = c.flag(isa.FlagN)
+		case isa.JGE:
+			taken = c.flag(isa.FlagN) == c.flag(isa.FlagV)
+		case isa.JL:
+			taken = c.flag(isa.FlagN) != c.flag(isa.FlagV)
+		case isa.JMP:
+			taken = true
+		}
+		if taken {
+			c.SetPC(c.PC() + 2*uint16(in.JmpOffsetWords()))
+		}
+		return nil
+
+	case in.Op == isa.RETI:
+		sr, viol := c.pop()
+		if viol != nil {
+			return mkFault(viol)
+		}
+		c.Regs[isa.SR] = sr
+		ret, viol := c.pop()
+		if viol != nil {
+			return mkFault(viol)
+		}
+		c.SetPC(ret)
+		return nil
+
+	case in.Op.IsOneOperand():
+		return c.execOneOperand(pc, size, in)
+	}
+	return c.execTwoOperand(pc, size, in)
+}
+
+func (c *CPU) execOneOperand(pc, size uint16, in isa.Instr) *Fault {
+	mkFault := func(v *mem.Violation) *Fault { return &Fault{PC: pc, Violation: v} }
+	extBase := pc + 2 // single operand's extension word follows the opcode
+
+	val, loc, viol := c.resolveSrc(in, extBase)
+	if viol != nil {
+		return mkFault(viol)
+	}
+
+	switch in.Op {
+	case isa.RRC:
+		carryIn := uint16(0)
+		if c.flag(isa.FlagC) {
+			carryIn = 1
+		}
+		var res uint16
+		if in.Byte {
+			res = (val&0xFF)>>1 | carryIn<<7
+		} else {
+			res = val>>1 | carryIn<<15
+		}
+		c.setFlag(isa.FlagC, val&1 != 0)
+		c.setFlag(isa.FlagV, false)
+		c.setNZ(res, in.Byte)
+		if v := c.writeLoc(loc, res, in.Byte); v != nil {
+			return mkFault(v)
+		}
+	case isa.RRA:
+		var res uint16
+		if in.Byte {
+			res = (val&0xFF)>>1 | val&0x80
+		} else {
+			res = val>>1 | val&0x8000
+		}
+		c.setFlag(isa.FlagC, val&1 != 0)
+		c.setFlag(isa.FlagV, false)
+		c.setNZ(res, in.Byte)
+		if v := c.writeLoc(loc, res, in.Byte); v != nil {
+			return mkFault(v)
+		}
+	case isa.SWPB:
+		res := val<<8 | val>>8
+		if v := c.writeLoc(loc, res, false); v != nil {
+			return mkFault(v)
+		}
+	case isa.SXT:
+		res := uint16(int16(int8(val)))
+		c.setNZ(res, false)
+		c.setFlag(isa.FlagC, res != 0)
+		c.setFlag(isa.FlagV, false)
+		if v := c.writeLoc(loc, res, false); v != nil {
+			return mkFault(v)
+		}
+	case isa.PUSH:
+		c.Regs[isa.SP] -= 2
+		var v *mem.Violation
+		if in.Byte {
+			v = c.Bus.Write8(c.Regs[isa.SP], uint8(val))
+		} else {
+			v = c.Bus.Write16(c.Regs[isa.SP], val)
+		}
+		if v != nil {
+			return mkFault(v)
+		}
+	case isa.CALL:
+		if v := c.push(c.PC()); v != nil {
+			return mkFault(v)
+		}
+		c.SetPC(val)
+	}
+	return nil
+}
+
+func (c *CPU) execTwoOperand(pc, size uint16, in isa.Instr) *Fault {
+	mkFault := func(v *mem.Violation) *Fault { return &Fault{PC: pc, Violation: v} }
+
+	srcExt := pc + 2
+	dstExt := pc + 2
+	if in.Src.NeedsExtWord(true) {
+		dstExt += 2
+	}
+
+	src, _, viol := c.resolveSrc(in, srcExt)
+	if viol != nil {
+		return mkFault(viol)
+	}
+
+	needRead := in.Op != isa.MOV
+	dst, loc, viol := c.resolveDst(in, dstExt, needRead)
+	if viol != nil {
+		return mkFault(viol)
+	}
+
+	write := true
+	var res uint16
+	switch in.Op {
+	case isa.MOV:
+		res = src
+	case isa.ADD:
+		res = c.addCore(dst, src, 0, in.Byte)
+	case isa.ADDC:
+		ci := uint16(0)
+		if c.flag(isa.FlagC) {
+			ci = 1
+		}
+		res = c.addCore(dst, src, ci, in.Byte)
+	case isa.SUB, isa.CMP:
+		res = c.addCore(dst, ^src, 1, in.Byte)
+		write = in.Op == isa.SUB
+	case isa.SUBC:
+		ci := uint16(0)
+		if c.flag(isa.FlagC) {
+			ci = 1
+		}
+		res = c.addCore(dst, ^src, ci, in.Byte)
+	case isa.DADD:
+		res = c.dadd(dst, src, in.Byte)
+	case isa.BIT, isa.AND:
+		res = dst & src
+		c.setNZ(res, in.Byte)
+		c.setFlag(isa.FlagC, !c.flag(isa.FlagZ))
+		c.setFlag(isa.FlagV, false)
+		write = in.Op == isa.AND
+	case isa.BIC:
+		res = dst &^ src
+	case isa.BIS:
+		res = dst | src
+	case isa.XOR:
+		res = dst ^ src
+		sign := uint16(0x8000)
+		if in.Byte {
+			sign = 0x80
+		}
+		c.setNZ(res, in.Byte)
+		c.setFlag(isa.FlagC, !c.flag(isa.FlagZ))
+		c.setFlag(isa.FlagV, dst&src&sign != 0)
+	}
+	if write {
+		if v := c.writeLoc(loc, res, in.Byte); v != nil {
+			return mkFault(v)
+		}
+	}
+	return nil
+}
+
+// dadd performs the BCD addition of DADD.
+func (c *CPU) dadd(dst, src uint16, byteOp bool) uint16 {
+	digits := 4
+	if byteOp {
+		digits = 2
+	}
+	carry := uint16(0)
+	if c.flag(isa.FlagC) {
+		carry = 1
+	}
+	var res uint16
+	for i := 0; i < digits; i++ {
+		d := dst>>(4*i)&0xF + src>>(4*i)&0xF + carry
+		if d > 9 {
+			d -= 10
+			carry = 1
+		} else {
+			carry = 0
+		}
+		res |= d << (4 * i)
+	}
+	c.setFlag(isa.FlagC, carry != 0)
+	c.setNZ(res, byteOp)
+	return res
+}

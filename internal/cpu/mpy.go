@@ -1,0 +1,64 @@
+package cpu
+
+// MPY32 models the MSP430FR5969's memory-mapped hardware multiplier: write
+// the operands, read the 32-bit product. The compiler lowers 16x16 multiply
+// through it (three MOV instructions, ~11 cycles) exactly as TI's compilers
+// do, which keeps compute-heavy benchmarks realistically fast relative to
+// the isolation checks around them.
+//
+// Register map (the FR5969 subset we use):
+//
+//	0x04C0 MPY    unsigned operand 1
+//	0x04C2 MPYS   signed operand 1 (same low-word product)
+//	0x04C8 OP2    operand 2; writing it triggers the multiply
+//	0x04CA RESLO  product bits 15..0
+//	0x04CC RESHI  product bits 31..16
+const (
+	MPYBase  uint16 = 0x04C0
+	MPYOp1   uint16 = 0x04C0
+	MPYOp1S  uint16 = 0x04C2
+	MPYOp2   uint16 = 0x04C8
+	MPYResLo uint16 = 0x04CA
+	MPYResHi uint16 = 0x04CC
+)
+
+// MPY32 implements mem.Device.
+type MPY32 struct {
+	op1    uint16
+	signed bool
+	res    uint32
+}
+
+// DeviceName implements mem.Device.
+func (m *MPY32) DeviceName() string { return "mpy32" }
+
+// ReadWord implements mem.Device.
+func (m *MPY32) ReadWord(addr uint16) uint16 {
+	switch addr {
+	case MPYOp1, MPYOp1S:
+		return m.op1
+	case MPYResLo:
+		return uint16(m.res)
+	case MPYResHi:
+		return uint16(m.res >> 16)
+	}
+	return 0
+}
+
+// WriteWord implements mem.Device.
+func (m *MPY32) WriteWord(addr uint16, v uint16) {
+	switch addr {
+	case MPYOp1:
+		m.op1 = v
+		m.signed = false
+	case MPYOp1S:
+		m.op1 = v
+		m.signed = true
+	case MPYOp2:
+		if m.signed {
+			m.res = uint32(int32(int16(m.op1)) * int32(int16(v)))
+		} else {
+			m.res = uint32(m.op1) * uint32(v)
+		}
+	}
+}

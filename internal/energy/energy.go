@@ -1,0 +1,56 @@
+// Package energy converts cycle counts into energy and battery-lifetime
+// terms for the Figure 2 battery-impact axis. Constants follow the
+// MSP430FR5969 datasheet's active-mode figures and an Amulet-class wearable
+// battery.
+package energy
+
+// Electrical model.
+const (
+	// ClockHz is the modeled MCLK (8 MHz: the FR5969's zero-wait-state
+	// FRAM operating point).
+	ClockHz = 8_000_000
+	// ActiveAmps is the active-mode supply current (~100 uA/MHz).
+	ActiveAmps = 0.0008
+	// SupplyVolts is the nominal supply.
+	SupplyVolts = 3.0
+	// EnergyPerCycleJ is the energy of one active CPU cycle.
+	EnergyPerCycleJ = ActiveAmps * SupplyVolts / ClockHz // 0.3 nJ
+)
+
+// Battery model: the Amulet-class 110 mAh lithium-polymer cell, with the
+// multi-week baseline lifetime the paper's platform targets.
+const (
+	BatteryCapacityJ     = 0.110 * 3.7 * 3600 // ~1465 J
+	BaselineLifetimeDays = 14.0
+)
+
+// SecondsPerWeek is one week of wall time.
+const SecondsPerWeek = 7 * 24 * 3600
+
+// CyclesToJoules converts active cycles to energy.
+func CyclesToJoules(cycles float64) float64 {
+	return cycles * EnergyPerCycleJ
+}
+
+// BaselineJoulesPerWeek is the energy the platform consumes in one week at
+// its baseline lifetime (battery drained linearly over the lifetime).
+func BaselineJoulesPerWeek() float64 {
+	return BatteryCapacityJ / (BaselineLifetimeDays / 7)
+}
+
+// BatteryImpactPercent converts an isolation overhead, in extra active
+// cycles per week, to the percentage of the weekly energy budget it
+// consumes — the right-hand axis of Figure 2.
+func BatteryImpactPercent(overheadCyclesPerWeek float64) float64 {
+	return CyclesToJoules(overheadCyclesPerWeek) / BaselineJoulesPerWeek() * 100
+}
+
+// LifetimeReductionHours estimates how much sooner the battery dies given
+// the overhead, against the baseline lifetime.
+func LifetimeReductionHours(overheadCyclesPerWeek float64) float64 {
+	baseP := BaselineJoulesPerWeek() / SecondsPerWeek
+	extraP := CyclesToJoules(overheadCyclesPerWeek) / SecondsPerWeek
+	baseLifeS := BatteryCapacityJ / baseP
+	newLifeS := BatteryCapacityJ / (baseP + extraP)
+	return (baseLifeS - newLifeS) / 3600
+}

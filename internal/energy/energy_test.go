@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantsPhysicallyPlausible(t *testing.T) {
+	// 0.8 mA at 3 V over 8 MHz is 0.3 nJ per cycle.
+	if math.Abs(EnergyPerCycleJ-0.3e-9) > 1e-12 {
+		t.Fatalf("energy/cycle = %g J, want 0.3 nJ", EnergyPerCycleJ)
+	}
+	// 110 mAh at 3.7 V is about 1465 J.
+	if BatteryCapacityJ < 1400 || BatteryCapacityJ > 1500 {
+		t.Fatalf("battery capacity = %g J", BatteryCapacityJ)
+	}
+}
+
+func TestBatteryImpactMatchesPaperScale(t *testing.T) {
+	// The paper's Figure 2 peaks around 3 billion cycles/week with battery
+	// impact below 0.5%. Our model must put 3 Gcyc/week in that regime.
+	got := BatteryImpactPercent(3e9)
+	if got <= 0 || got >= 0.5 {
+		t.Fatalf("3 Gcyc/week -> %.4f%%, want within (0, 0.5)", got)
+	}
+	if BatteryImpactPercent(0) != 0 {
+		t.Fatal("zero overhead must cost nothing")
+	}
+}
+
+func TestLifetimeReductionMonotone(t *testing.T) {
+	prev := 0.0
+	for _, c := range []float64{0, 1e8, 1e9, 5e9, 2e10} {
+		h := LifetimeReductionHours(c)
+		if h < prev {
+			t.Fatalf("lifetime reduction not monotone at %g cycles", c)
+		}
+		prev = h
+	}
+	// Two weeks is 336 hours; even silly overheads cannot exceed it.
+	if LifetimeReductionHours(1e15) > BaselineLifetimeDays*24 {
+		t.Fatal("lifetime reduction exceeds total lifetime")
+	}
+}
+
+func TestQuickImpactLinear(t *testing.T) {
+	f := func(k uint32) bool {
+		c := float64(k % 1_000_000)
+		a := BatteryImpactPercent(c)
+		b := BatteryImpactPercent(2 * c)
+		return math.Abs(b-2*a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package isa
+
+import "fmt"
+
+// DecodeError describes an undecodable instruction word.
+type DecodeError struct {
+	Addr uint16
+	Word uint16
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: illegal instruction word 0x%04X at 0x%04X", e.Word, e.Addr)
+}
+
+// WordReader supplies instruction words to the decoder. Implementations must
+// not have side effects visible to the program (the CPU charges cycles from
+// the cycle tables, not per decoder read).
+type WordReader interface {
+	ReadCodeWord(addr uint16) uint16
+}
+
+// WordReaderFunc adapts a function to the WordReader interface.
+type WordReaderFunc func(addr uint16) uint16
+
+// ReadCodeWord implements WordReader.
+func (f WordReaderFunc) ReadCodeWord(addr uint16) uint16 { return f(addr) }
+
+// decodeSrc reconstructs a source operand from As/reg fields, consuming an
+// extension word via next() when required.
+func decodeSrc(as uint16, reg Reg, next func() uint16) Operand {
+	// Constant generators first.
+	if reg == CG {
+		switch as {
+		case 0:
+			return Imm(0)
+		case 1:
+			return Imm(1)
+		case 2:
+			return Imm(2)
+		default:
+			return Imm(0xFFFF)
+		}
+	}
+	if reg == SR {
+		switch as {
+		case 0:
+			return RegOp(SR)
+		case 1:
+			return Abs(next())
+		case 2:
+			return Imm(4)
+		default:
+			return Imm(8)
+		}
+	}
+	switch as {
+	case 0:
+		return RegOp(reg)
+	case 1:
+		return Idx(next(), reg)
+	case 2:
+		return Ind(reg)
+	default:
+		if reg == PC {
+			return Imm(next())
+		}
+		return IndInc(reg)
+	}
+}
+
+// decodeDst reconstructs a destination operand from Ad/reg fields.
+func decodeDst(ad uint16, reg Reg, next func() uint16) Operand {
+	if ad == 0 {
+		return RegOp(reg)
+	}
+	if reg == SR {
+		return Abs(next())
+	}
+	return Idx(next(), reg)
+}
+
+// Decode decodes the instruction starting at addr. It returns the symbolic
+// instruction and its size in bytes (2, 4 or 6).
+func Decode(r WordReader, addr uint16) (Instr, uint16, error) {
+	w := r.ReadCodeWord(addr)
+	nextAddr := addr + 2
+	next := func() uint16 {
+		v := r.ReadCodeWord(nextAddr)
+		nextAddr += 2
+		return v
+	}
+
+	switch {
+	case w&0xE000 == 0x2000: // format III jump
+		op := JNE + Op((w>>10)&7)
+		off := int16(w<<6) >> 6 // sign-extend 10-bit field
+		return Instr{Op: op, Dst: Operand{Mode: ModeNone, X: uint16(off)}}, 2, nil
+
+	case w&0xFC00 == 0x1000: // format II
+		opc := (w >> 7) & 7
+		if opc == 6 { // RETI
+			return Instr{Op: RETI, Src: NoOperand, Dst: NoOperand}, 2, nil
+		}
+		if opc == 7 {
+			return Instr{}, 0, &DecodeError{addr, w}
+		}
+		op := RRC + Op(opc)
+		byteOp := w&0x40 != 0
+		if byteOp && (op == SWPB || op == SXT || op == CALL) {
+			return Instr{}, 0, &DecodeError{addr, w}
+		}
+		src := decodeSrc((w>>4)&3, Reg(w&0xF), next)
+		if src.Mode == ModeImmediate && op != PUSH && op != CALL {
+			return Instr{}, 0, &DecodeError{addr, w}
+		}
+		return Instr{Op: op, Byte: byteOp, Src: src, Dst: NoOperand}, nextAddr - addr, nil
+
+	case w>>12 >= 4: // format I
+		op := Op(w>>12) - 4
+		src := decodeSrc((w>>4)&3, Reg((w>>8)&0xF), next)
+		dst := decodeDst((w>>7)&1, Reg(w&0xF), next)
+		return Instr{Op: op, Byte: w&0x40 != 0, Src: src, Dst: dst}, nextAddr - addr, nil
+	}
+	return Instr{}, 0, &DecodeError{addr, w}
+}

@@ -1,0 +1,321 @@
+// Package isa defines the instruction-set architecture of the simulated
+// MSP430-class CPU used throughout this repository: registers, status flags,
+// opcodes, addressing modes, the symbolic Instr form, binary encoding and
+// decoding, and the per-instruction cycle-cost tables.
+//
+// The ISA follows the classic TI MSP430 CPU (16-bit, 27 core instructions in
+// three formats, orthogonal addressing modes, constant generators on R2/R3).
+// Cycle counts follow the public TI user-guide tables so that measured
+// overheads of compiler-inserted isolation checks have realistic relative
+// magnitudes. See DESIGN.md for why cycle fidelity matters to the
+// reproduction.
+package isa
+
+import "fmt"
+
+// Reg is a CPU register number, R0 through R15.
+//
+// R0 is the program counter, R1 the stack pointer, R2 the status register
+// (and constant generator 1), R3 constant generator 2. R4-R15 are general
+// purpose.
+type Reg uint8
+
+// Architectural register names.
+const (
+	PC  Reg = 0 // program counter (R0)
+	SP  Reg = 1 // stack pointer (R1)
+	SR  Reg = 2 // status register / constant generator 1 (R2)
+	CG  Reg = 3 // constant generator 2 (R3)
+	R4  Reg = 4
+	R5  Reg = 5
+	R6  Reg = 6
+	R7  Reg = 7
+	R8  Reg = 8
+	R9  Reg = 9
+	R10 Reg = 10
+	R11 Reg = 11
+	R12 Reg = 12
+	R13 Reg = 13
+	R14 Reg = 14
+	R15 Reg = 15
+)
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 16
+
+// String returns the conventional assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case PC:
+		return "PC"
+	case SP:
+		return "SP"
+	case SR:
+		return "SR"
+	case CG:
+		return "CG"
+	}
+	return fmt.Sprintf("R%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Status-register flag bits.
+const (
+	FlagC      uint16 = 1 << 0 // carry
+	FlagZ      uint16 = 1 << 1 // zero
+	FlagN      uint16 = 1 << 2 // negative
+	FlagGIE    uint16 = 1 << 3 // general interrupt enable
+	FlagCPUOFF uint16 = 1 << 4 // CPU off (low-power mode)
+	FlagOSCOFF uint16 = 1 << 5 // oscillator off
+	FlagSCG0   uint16 = 1 << 6 // system clock generator 0
+	FlagSCG1   uint16 = 1 << 7 // system clock generator 1
+	FlagV      uint16 = 1 << 8 // overflow
+)
+
+// Op identifies an instruction operation. The three MSP430 formats are
+// represented by contiguous ranges: two-operand (format I), one-operand
+// (format II) and relative jumps (format III).
+type Op uint8
+
+// Format I: two-operand arithmetic and data movement.
+const (
+	MOV  Op = iota // dst = src
+	ADD            // dst += src
+	ADDC           // dst += src + C
+	SUBC           // dst = dst - src - 1 + C
+	SUB            // dst -= src
+	CMP            // dst - src, flags only
+	DADD           // BCD add with carry
+	BIT            // dst & src, flags only
+	BIC            // dst &^= src
+	BIS            // dst |= src
+	XOR            // dst ^= src
+	AND            // dst &= src
+
+	// Format II: one-operand.
+	RRC  // rotate right through carry
+	SWPB // swap bytes
+	RRA  // arithmetic shift right
+	SXT  // sign-extend low byte
+	PUSH // push operand
+	CALL // push PC, jump to operand
+	RETI // return from interrupt
+
+	// Format III: PC-relative conditional jumps.
+	JNE // jump if Z==0 (aka JNZ)
+	JEQ // jump if Z==1 (aka JZ)
+	JNC // jump if C==0 (aka JLO)
+	JC  // jump if C==1 (aka JHS)
+	JN  // jump if N==1
+	JGE // jump if N XOR V == 0
+	JL  // jump if N XOR V == 1
+	JMP // jump always
+
+	numOps
+)
+
+var opNames = [...]string{
+	MOV: "MOV", ADD: "ADD", ADDC: "ADDC", SUBC: "SUBC", SUB: "SUB",
+	CMP: "CMP", DADD: "DADD", BIT: "BIT", BIC: "BIC", BIS: "BIS",
+	XOR: "XOR", AND: "AND",
+	RRC: "RRC", SWPB: "SWPB", RRA: "RRA", SXT: "SXT", PUSH: "PUSH",
+	CALL: "CALL", RETI: "RETI",
+	JNE: "JNE", JEQ: "JEQ", JNC: "JNC", JC: "JC", JN: "JN",
+	JGE: "JGE", JL: "JL", JMP: "JMP",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsTwoOperand reports whether o is a format-I instruction.
+func (o Op) IsTwoOperand() bool { return o <= AND }
+
+// IsOneOperand reports whether o is a format-II instruction.
+func (o Op) IsOneOperand() bool { return o >= RRC && o <= RETI }
+
+// IsJump reports whether o is a format-III conditional jump.
+func (o Op) IsJump() bool { return o >= JNE && o <= JMP }
+
+// Valid reports whether o names a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// AddrMode is an operand addressing mode.
+type AddrMode uint8
+
+// Addressing modes. Symbolic mode (ADDR, encoded as x(PC)) is resolved by the
+// assembler into Absolute or Indexed form before encoding, so it does not
+// appear here.
+const (
+	ModeNone        AddrMode = iota // absent operand (RETI, jumps); the zero value
+	ModeRegister                    // Rn
+	ModeIndexed                     // x(Rn)
+	ModeAbsolute                    // &ADDR (encoded as x(SR) with As=01/Ad=1)
+	ModeIndirect                    // @Rn (source only)
+	ModeIndirectInc                 // @Rn+ (source only)
+	ModeImmediate                   // #N (source only; encoded @PC+ or const gen)
+)
+
+// String returns a short name for the addressing mode.
+func (m AddrMode) String() string {
+	switch m {
+	case ModeRegister:
+		return "Rn"
+	case ModeIndexed:
+		return "x(Rn)"
+	case ModeAbsolute:
+		return "&ADDR"
+	case ModeIndirect:
+		return "@Rn"
+	case ModeIndirectInc:
+		return "@Rn+"
+	case ModeImmediate:
+		return "#N"
+	case ModeNone:
+		return "-"
+	}
+	return fmt.Sprintf("AddrMode(%d)", uint8(m))
+}
+
+// Operand describes one instruction operand.
+type Operand struct {
+	Mode AddrMode
+	Reg  Reg    // register for Register/Indexed/Indirect/IndirectInc modes
+	X    uint16 // index for Indexed, address for Absolute, value for Immediate
+}
+
+// Common operand constructors, used heavily by the code generator.
+
+// RegOp returns a register-mode operand.
+func RegOp(r Reg) Operand { return Operand{Mode: ModeRegister, Reg: r} }
+
+// Imm returns an immediate-mode operand with value v.
+func Imm(v uint16) Operand { return Operand{Mode: ModeImmediate, X: v} }
+
+// Abs returns an absolute-mode operand addressing addr.
+func Abs(addr uint16) Operand { return Operand{Mode: ModeAbsolute, X: addr} }
+
+// Idx returns an indexed-mode operand x(r).
+func Idx(x uint16, r Reg) Operand { return Operand{Mode: ModeIndexed, Reg: r, X: x} }
+
+// Ind returns an indirect-register operand @r.
+func Ind(r Reg) Operand { return Operand{Mode: ModeIndirect, Reg: r} }
+
+// IndInc returns an indirect-autoincrement operand @r+.
+func IndInc(r Reg) Operand { return Operand{Mode: ModeIndirectInc, Reg: r} }
+
+// NoOperand is the absent operand used by RETI and jump instructions.
+var NoOperand = Operand{Mode: ModeNone}
+
+// String renders the operand in assembler syntax.
+func (o Operand) String() string {
+	switch o.Mode {
+	case ModeRegister:
+		return o.Reg.String()
+	case ModeIndexed:
+		return fmt.Sprintf("%d(%s)", int16(o.X), o.Reg)
+	case ModeAbsolute:
+		return fmt.Sprintf("&0x%04X", o.X)
+	case ModeIndirect:
+		return "@" + o.Reg.String()
+	case ModeIndirectInc:
+		return "@" + o.Reg.String() + "+"
+	case ModeImmediate:
+		return fmt.Sprintf("#%d", int16(o.X))
+	case ModeNone:
+		return ""
+	}
+	return "?"
+}
+
+// NeedsExtWord reports whether the operand consumes an instruction extension
+// word when encoded as a source (src=true) or destination.
+//
+// Immediates representable by the constant generators (-1, 0, 1, 2, 4, 8)
+// need no extension word as sources; all other immediates do. Register,
+// indirect and autoincrement modes never need one; indexed and absolute
+// always do.
+func (o Operand) NeedsExtWord(src bool) bool {
+	switch o.Mode {
+	case ModeIndexed, ModeAbsolute:
+		return true
+	case ModeImmediate:
+		if !src {
+			return true // immediates are source-only; callers validate
+		}
+		return !isCGImmediate(o.X)
+	default:
+		return false
+	}
+}
+
+// isCGImmediate reports whether v is generated by the R2/R3 constant
+// generators and therefore encodes without an extension word.
+func isCGImmediate(v uint16) bool {
+	switch v {
+	case 0, 1, 2, 4, 8, 0xFFFF:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded (or to-be-encoded) instruction.
+type Instr struct {
+	Op   Op
+	Byte bool    // true for .B (byte) operation; word otherwise
+	Src  Operand // format I source; format II operand; jumps: unused
+	Dst  Operand // format I destination; jumps: signed word offset in Dst.X
+}
+
+// JmpOffsetWords returns the signed jump offset in words for a format-III
+// instruction (range -511..+512, PC-relative to the following instruction).
+func (i Instr) JmpOffsetWords() int16 { return int16(i.Dst.X) }
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	suffix := ""
+	if i.Byte {
+		suffix = ".B"
+	}
+	switch {
+	case i.Op.IsTwoOperand():
+		return fmt.Sprintf("%s%s %s, %s", i.Op, suffix, i.Src, i.Dst)
+	case i.Op == RETI:
+		return "RETI"
+	case i.Op.IsOneOperand():
+		return fmt.Sprintf("%s%s %s", i.Op, suffix, i.Src)
+	case i.Op.IsJump():
+		return fmt.Sprintf("%s %+d", i.Op, int16(i.Dst.X)*2)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// Words returns the encoded size of the instruction in 16-bit words (1-3).
+func (i Instr) Words() int {
+	n := 1
+	switch {
+	case i.Op.IsTwoOperand():
+		if i.Src.NeedsExtWord(true) {
+			n++
+		}
+		if i.Dst.NeedsExtWord(false) {
+			n++
+		}
+	case i.Op == RETI || i.Op.IsJump():
+		// single word
+	case i.Op.IsOneOperand():
+		if i.Src.NeedsExtWord(true) {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the encoded size in bytes.
+func (i Instr) Size() uint16 { return uint16(i.Words()) * 2 }

@@ -1,0 +1,347 @@
+// Package kernel implements the AmuletOS analogue: an event-driven scheduler
+// that drives application state machines on the simulated MCU, the OS API
+// services behind the AFT-generated gates, deterministic sensor and display
+// models, per-app accounting, and fault handling with a restart policy (the
+// paper's §5 "more robust error handling" extension).
+//
+// Control flow: the kernel (Go side) owns the machine between events. To
+// deliver an event it loads the current app's MPU plan and stack into the
+// os.var.* block, points the CPU at the AFT's dispatch veneer and lets the
+// simulated CPU run — the veneer performs the real (cycle-charged) stack and
+// MPU switches, calls the app handler, and yields back. API calls made by
+// the handler run through the AFT gates, which transfer to Go services via
+// the syscall port.
+package kernel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/aft"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+	"amuletiso/internal/mpu"
+)
+
+// CyclesPerMS converts active CPU cycles to milliseconds (8 MHz MCLK, the
+// MSP430FR5969's FRAM-friendly operating point).
+const CyclesPerMS = 8000
+
+// DispatchModelCycles is the modeled cost of the Go-side scheduler work
+// (event queue pop, state lookup) that the real AmuletOS would execute as
+// code. It is charged per dispatched event in every mode, so it cancels out
+// of isolation-overhead comparisons.
+const DispatchModelCycles = 40
+
+// Event is one queued deliverable.
+type Event struct {
+	Due    uint64 // ms of virtual time
+	App    int    // destination app index
+	Code   uint16 // abi.Ev*
+	Arg    uint16
+	Period uint64 // ms; >0 reschedules after delivery
+	seq    uint64
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Due != h[j].Due {
+		return h[i].Due < h[j].Due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FaultRecord logs one isolation fault.
+type FaultRecord struct {
+	App    int
+	AtMS   uint64
+	Reason string
+}
+
+// RestartPolicy governs what happens to faulting apps.
+type RestartPolicy struct {
+	// MaxFaults kills the app permanently after this many faults (0 =
+	// never restart: first fault kills).
+	MaxFaults int
+	// BackoffMS delays the restart.
+	BackoffMS uint64
+}
+
+// TaggedValue is one amulet_log_value record.
+type TaggedValue struct {
+	Tag, Value uint16
+	AtMS       uint64
+}
+
+// AppState is the kernel's view of one application.
+type AppState struct {
+	Info  *aft.AppInfo
+	Alive bool
+
+	Faults     int
+	Dispatches uint64
+	Syscalls   uint64
+	Cycles     uint64 // active cycles consumed by this app's dispatches
+
+	Subs map[uint16]uint64 // sensor -> period ms
+
+	Log       []byte
+	LogValues []TaggedValue
+
+	restartAt uint64
+}
+
+// Kernel is the OS instance.
+type Kernel struct {
+	FW  *aft.Firmware
+	CPU *cpu.CPU
+	Bus *mem.Bus
+	MPU *mpu.Unit
+
+	Apps   []*AppState
+	NowMS  uint64
+	Policy RestartPolicy
+
+	Faults  []FaultRecord
+	Display *Display
+	Sensors *Sensors
+
+	queue      eventHeap
+	seq        uint64
+	rng        uint32
+	curApp     int
+	yielded    bool
+	faultMsg   string
+	timerSeq   uint16
+	OSCycles   uint64 // modeled scheduler cycles
+	dispatchC0 uint64 // cycle count at dispatch start (for in-event time)
+}
+
+// kernelPorts is the kernel's memory-mapped device (fault/yield ports).
+type kernelPorts struct{ k *Kernel }
+
+func (p *kernelPorts) DeviceName() string { return "os-ports" }
+
+func (p *kernelPorts) ReadWord(addr uint16) uint16 { return 0 }
+
+func (p *kernelPorts) WriteWord(addr uint16, v uint16) {
+	switch addr {
+	case abi.PortFault:
+		p.k.faultMsg = fmt.Sprintf("isolation check fault (port value 0x%04X)", v)
+		p.k.CPU.Halted = true
+	case abi.PortYield:
+		p.k.yielded = true
+	}
+}
+
+// New boots a kernel around the firmware: machine assembly, image load, MPU
+// plan, and an EvInit for every app at t=0.
+func New(fw *aft.Firmware) *Kernel {
+	bus := mem.NewBus()
+	c := cpu.New(bus)
+	u := mpu.New()
+	bus.Map(mpu.RegLo, mpu.RegHi, u)
+	bus.Checker = u
+
+	k := &Kernel{
+		FW:      fw,
+		CPU:     c,
+		Bus:     bus,
+		MPU:     u,
+		Policy:  RestartPolicy{MaxFaults: 3, BackoffMS: 1000},
+		Display: NewDisplay(),
+		Sensors: NewSensors(1),
+		rng:     0x1234,
+	}
+	bus.Map(abi.PortFault, abi.PortSvcExtra+1, &kernelPorts{k})
+	fw.Image.LoadInto(bus)
+	c.OnSyscall = k.service
+
+	for i, info := range fw.Apps {
+		app := &AppState{Info: info, Alive: true, Subs: map[uint16]uint64{}}
+		k.Apps = append(k.Apps, app)
+		k.post(Event{Due: 0, App: i, Code: abi.EvInit})
+	}
+	return k
+}
+
+// post enqueues an event.
+func (k *Kernel) post(e Event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.queue, e)
+}
+
+// Post schedules an event from the outside (tests, examples).
+func (k *Kernel) Post(app int, code, arg uint16, inMS uint64) {
+	k.post(Event{Due: k.NowMS + inMS, App: app, Code: code, Arg: arg})
+}
+
+// InjectButton delivers a button event to every app subscribed to buttons.
+func (k *Kernel) InjectButton(button uint16) {
+	for i, a := range k.Apps {
+		if _, ok := a.Subs[abi.SensorButton]; ok {
+			k.post(Event{Due: k.NowMS, App: i, Code: abi.EvButton, Arg: button})
+		}
+	}
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// GateCount reads the context-switch bookkeeping counter maintained by the
+// generated gate code.
+func (k *Kernel) GateCount() uint16 {
+	return k.Bus.Peek16(k.FW.Vars[abi.SymVarGateCount])
+}
+
+// timeMS returns virtual time including progress within the current event.
+func (k *Kernel) timeMS() uint64 {
+	return k.NowMS + (k.CPU.Cycles-k.dispatchC0)/CyclesPerMS
+}
+
+// osPlan forces the MPU back to the OS plan (Go-side, models the PUC path).
+func (k *Kernel) osPlan() {
+	if k.FW.Mode == cc.ModeMPU {
+		k.MPU.Configure(k.FW.OSPlanB1, k.FW.OSPlanB2, k.FW.OSPlanSAM, true)
+	} else {
+		k.MPU.Configure(0, 0, 0x7777, false)
+	}
+}
+
+// Step processes the next queued event; it reports false when the queue is
+// empty. Event delivery runs real code on the simulated CPU.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(Event)
+		if e.Due > k.NowMS {
+			k.NowMS = e.Due
+		}
+		app := k.Apps[e.App]
+		if !app.Alive {
+			if app.restartAt != 0 && k.NowMS >= app.restartAt && app.Faults <= k.Policy.MaxFaults {
+				app.Alive = true
+				app.restartAt = 0
+				k.deliver(e.App, abi.EvInit, 0)
+			}
+			continue
+		}
+		k.deliver(e.App, e.Code, e.Arg)
+		if e.Period > 0 && k.Apps[e.App].Alive {
+			e.Due = k.NowMS + e.Period
+			k.post(e)
+		}
+		return true
+	}
+	return false
+}
+
+// RunUntil processes queued events until virtual time reaches deadlineMS or
+// the queue drains. It returns the number of events delivered.
+func (k *Kernel) RunUntil(deadlineMS uint64) int {
+	n := 0
+	for k.queue.Len() > 0 && k.queue[0].Due <= deadlineMS {
+		if !k.Step() {
+			break
+		}
+		n++
+	}
+	if k.NowMS < deadlineMS {
+		k.NowMS = deadlineMS
+	}
+	return n
+}
+
+// deliver runs one event through the dispatch veneer.
+func (k *Kernel) deliver(appIdx int, code, arg uint16) {
+	app := k.Apps[appIdx]
+	info := app.Info
+	k.curApp = appIdx
+	k.yielded = false
+	k.faultMsg = ""
+
+	// Scheduler model cost (same in every mode).
+	k.CPU.Cycles += DispatchModelCycles
+	k.OSCycles += DispatchModelCycles
+
+	// Prime the os.var.* block for the gates and veneer.
+	vars := k.FW.Vars
+	k.Bus.Poke16(vars[abi.SymVarCurB1], info.PlanB1)
+	k.Bus.Poke16(vars[abi.SymVarCurB2], info.PlanB2)
+	k.Bus.Poke16(vars[abi.SymVarCurSAM], info.PlanSAM)
+	k.Bus.Poke16(vars[abi.SymVarCurApp], info.ID)
+	k.Bus.Poke16(vars[abi.SymVarAppSP], info.StackTop)
+	k.Bus.Poke16(vars[abi.SymVarOSStackSP], k.FW.OSStackSP)
+
+	// Machine state: OS stack, OS plan, veneer entry.
+	k.osPlan()
+	k.CPU.Regs[isa.SR] = 0
+	k.CPU.SetSP(k.FW.OSStackSP)
+	k.CPU.Regs[isa.R11] = info.Handler
+	k.CPU.Regs[isa.R12] = code
+	k.CPU.Regs[isa.R13] = arg
+	k.CPU.SetPC(k.FW.Dispatch)
+	k.CPU.Halted = false
+
+	start := k.CPU.Cycles
+	k.dispatchC0 = start
+	app.Dispatches++
+
+	const watchdogBudget = 50_000_000
+	reason, fault := k.CPU.Run(watchdogBudget)
+	app.Cycles += k.CPU.Cycles - start
+
+	switch {
+	case reason == cpu.StopCPUOff && k.yielded:
+		// normal completion
+	case reason == cpu.StopHalt && k.faultMsg != "":
+		k.recordFault(appIdx, k.faultMsg)
+	case reason == cpu.StopFault:
+		msg := "cpu fault"
+		if fault != nil {
+			msg = fault.Error()
+		}
+		k.recordFault(appIdx, msg)
+	case reason == cpu.StopBudget:
+		k.recordFault(appIdx, "watchdog: event handler exceeded cycle budget")
+	default:
+		k.recordFault(appIdx, fmt.Sprintf("unexpected stop (%v)", reason))
+	}
+	// Clear latched MPU flags and restore the OS plan for the next event.
+	k.MPU.WriteWord(mpu.RegCTL1, 0)
+	k.osPlan()
+}
+
+// recordFault applies the restart policy to a faulting app.
+func (k *Kernel) recordFault(appIdx int, reason string) {
+	app := k.Apps[appIdx]
+	app.Faults++
+	app.Alive = false
+	k.Faults = append(k.Faults, FaultRecord{App: appIdx, AtMS: k.NowMS, Reason: reason})
+	if k.Policy.MaxFaults > 0 && app.Faults <= k.Policy.MaxFaults {
+		app.restartAt = k.NowMS + k.Policy.BackoffMS
+		// A queued wake-up guarantees the restart triggers even if no other
+		// event targets this app.
+		k.post(Event{Due: app.restartAt, App: appIdx, Code: abi.EvTick})
+	}
+}
+
+// randWord steps the kernel's deterministic LCG.
+func (k *Kernel) randWord() uint16 {
+	k.rng = k.rng*1103515245 + 12345
+	return uint16(k.rng >> 16)
+}

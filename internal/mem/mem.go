@@ -1,0 +1,357 @@
+// Package mem implements the 16-bit memory system of the simulated MCU: the
+// flat 64 KiB address space, the MSP430FR5969-style region map (peripheral
+// registers, InfoMem, SRAM, main FRAM, interrupt vectors), memory-mapped
+// peripheral devices, and the access-check and profiling hooks that the MPU
+// model and the resource profiler attach to.
+//
+// The region map matters to the reproduction: the paper's central complaint
+// is that the FRAM MPU covers only main FRAM, leaving peripheral registers,
+// SRAM and the interrupt vectors unprotected, which forces the hybrid
+// MPU+compiler design. Those coverage holes are architectural constants here.
+package mem
+
+import "fmt"
+
+// MSP430FR5969-style memory map. All bounds are inclusive.
+const (
+	PeriphLo uint16 = 0x0000 // peripheral / special-function registers
+	PeriphHi uint16 = 0x0FFF
+	BSLLo    uint16 = 0x1000 // bootstrap-loader ROM (read-only, unused)
+	BSLHi    uint16 = 0x17FF
+	InfoLo   uint16 = 0x1800 // information FRAM (512 B, MPU segment 0)
+	InfoHi   uint16 = 0x19FF
+	SRAMLo   uint16 = 0x1C00 // 2 KiB SRAM (OS stack; MPU cannot cover it)
+	SRAMHi   uint16 = 0x23FF
+	FRAMLo   uint16 = 0x4400 // main FRAM: OS + application code and data
+	FRAMHi   uint16 = 0xFF7F
+	VectLo   uint16 = 0xFF80 // interrupt vector table (in FRAM, MPU-exempt)
+	VectHi   uint16 = 0xFFFF
+
+	// DebugLo..DebugHi is the simulator's debug/OS port window (halt,
+	// console, syscall, fault, yield). It is harness infrastructure, not
+	// modeled hardware, so even the hypothetical "advanced" MPU leaves it
+	// reachable.
+	DebugLo uint16 = 0x01E0
+	DebugHi uint16 = 0x01FF
+)
+
+// Kind is the type of a memory access.
+type Kind uint8
+
+// Access kinds.
+const (
+	Read    Kind = iota // data read
+	Write               // data write
+	Execute             // instruction fetch
+)
+
+// String returns "read", "write" or "execute".
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Access describes one memory access for check and profiling hooks.
+type Access struct {
+	Addr  uint16
+	Kind  Kind
+	Byte  bool   // byte-wide access (word otherwise)
+	Value uint16 // value written (Write) or read (Read/Execute)
+}
+
+// Violation reports an access denied by a checker (normally the MPU model).
+type Violation struct {
+	Access Access
+	Rule   string // human-readable description of the violated rule
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mem: %s of 0x%04X denied: %s", v.Access.Kind, v.Access.Addr, v.Rule)
+}
+
+// Device is a memory-mapped peripheral. Devices are word-oriented; the bus
+// synthesizes byte accesses from word operations. Addr is the absolute
+// address of the accessed (word-aligned) register.
+type Device interface {
+	// DeviceName identifies the device in diagnostics.
+	DeviceName() string
+	// ReadWord returns the register value at the word-aligned address.
+	ReadWord(addr uint16) uint16
+	// WriteWord stores v to the register at the word-aligned address.
+	WriteWord(addr uint16, v uint16)
+}
+
+type devEntry struct {
+	lo, hi uint16
+	dev    Device
+}
+
+// Checker vets an access before it is performed. A nil return allows the
+// access. The canonical Checker is the MPU model.
+type Checker interface {
+	CheckAccess(a Access) *Violation
+}
+
+// Bus is the CPU-visible memory system.
+//
+// The zero value is not usable; call NewBus.
+type Bus struct {
+	data [1 << 16]byte
+	devs []devEntry
+
+	// Checker, if non-nil, vets every data access and instruction fetch.
+	Checker Checker
+	// OnAccess, if non-nil, observes every successful access (profiling).
+	OnAccess func(a Access)
+
+	// WaitStates is charged by the CPU per FRAM access when the clock
+	// outruns the FRAM controller; kept on the bus because it is a
+	// property of the memory technology, not of the CPU core.
+	WaitStates int
+
+	// stats
+	reads, writes, fetches uint64
+}
+
+// NewBus returns a bus with the FR5969 region map and no devices.
+func NewBus() *Bus {
+	b := &Bus{}
+	// Unmapped memory reads as 0xFF (erased FRAM convention).
+	for i := range b.data {
+		b.data[i] = 0xFF
+	}
+	return b
+}
+
+// Map registers a peripheral device over [lo, hi]. Later registrations take
+// priority over earlier ones, allowing tests to interpose.
+func (b *Bus) Map(lo, hi uint16, d Device) {
+	b.devs = append(b.devs, devEntry{lo, hi, d})
+}
+
+// deviceAt returns the device mapped at addr, or nil.
+func (b *Bus) deviceAt(addr uint16) Device {
+	for i := len(b.devs) - 1; i >= 0; i-- {
+		if addr >= b.devs[i].lo && addr <= b.devs[i].hi {
+			return b.devs[i].dev
+		}
+	}
+	return nil
+}
+
+// InRegion reports whether addr lies in [lo, hi].
+func InRegion(addr, lo, hi uint16) bool { return addr >= lo && addr <= hi }
+
+// align drops bit 0, mirroring the MSP430's silent word alignment.
+func align(addr uint16) uint16 { return addr &^ 1 }
+
+// rawRead16 reads a word without checks or hooks.
+func (b *Bus) rawRead16(addr uint16) uint16 {
+	addr = align(addr)
+	if d := b.deviceAt(addr); d != nil {
+		return d.ReadWord(addr)
+	}
+	return uint16(b.data[addr]) | uint16(b.data[addr+1])<<8
+}
+
+// rawWrite16 writes a word without checks or hooks.
+func (b *Bus) rawWrite16(addr, v uint16) {
+	addr = align(addr)
+	if d := b.deviceAt(addr); d != nil {
+		d.WriteWord(addr, v)
+		return
+	}
+	b.data[addr] = byte(v)
+	b.data[addr+1] = byte(v >> 8)
+}
+
+// check runs the configured checker.
+func (b *Bus) check(a Access) *Violation {
+	if b.Checker == nil {
+		return nil
+	}
+	return b.Checker.CheckAccess(a)
+}
+
+// observe runs the profiling hook and updates counters.
+func (b *Bus) observe(a Access) {
+	switch a.Kind {
+	case Read:
+		b.reads++
+	case Write:
+		b.writes++
+	case Execute:
+		b.fetches++
+	}
+	if b.OnAccess != nil {
+		b.OnAccess(a)
+	}
+}
+
+// Read16 performs a checked word read.
+func (b *Bus) Read16(addr uint16) (uint16, *Violation) {
+	a := Access{Addr: align(addr), Kind: Read}
+	if v := b.check(a); v != nil {
+		return 0, v
+	}
+	a.Value = b.rawRead16(addr)
+	b.observe(a)
+	return a.Value, nil
+}
+
+// Read8 performs a checked byte read.
+func (b *Bus) Read8(addr uint16) (uint8, *Violation) {
+	a := Access{Addr: addr, Kind: Read, Byte: true}
+	if v := b.check(a); v != nil {
+		return 0, v
+	}
+	var v uint8
+	if d := b.deviceAt(align(addr)); d != nil {
+		w := d.ReadWord(align(addr))
+		if addr&1 == 1 {
+			v = uint8(w >> 8)
+		} else {
+			v = uint8(w)
+		}
+	} else {
+		v = b.data[addr]
+	}
+	a.Value = uint16(v)
+	b.observe(a)
+	return v, nil
+}
+
+// Write16 performs a checked word write.
+func (b *Bus) Write16(addr, val uint16) *Violation {
+	a := Access{Addr: align(addr), Kind: Write, Value: val}
+	if v := b.check(a); v != nil {
+		return v
+	}
+	if iv := b.immutable(align(addr)); iv != nil {
+		return iv
+	}
+	b.rawWrite16(addr, val)
+	b.observe(a)
+	return nil
+}
+
+// Write8 performs a checked byte write.
+func (b *Bus) Write8(addr uint16, val uint8) *Violation {
+	a := Access{Addr: addr, Kind: Write, Byte: true, Value: uint16(val)}
+	if v := b.check(a); v != nil {
+		return v
+	}
+	if iv := b.immutable(addr); iv != nil {
+		return iv
+	}
+	if d := b.deviceAt(align(addr)); d != nil {
+		w := d.ReadWord(align(addr))
+		if addr&1 == 1 {
+			w = w&0x00FF | uint16(val)<<8
+		} else {
+			w = w&0xFF00 | uint16(val)
+		}
+		d.WriteWord(align(addr), w)
+	} else {
+		b.data[addr] = val
+	}
+	b.observe(a)
+	return nil
+}
+
+// immutable rejects writes to the bootstrap-loader ROM.
+func (b *Bus) immutable(addr uint16) *Violation {
+	if InRegion(addr, BSLLo, BSLHi) {
+		return &Violation{
+			Access: Access{Addr: addr, Kind: Write},
+			Rule:   "bootstrap loader ROM is read-only",
+		}
+	}
+	return nil
+}
+
+// Fetch16 performs a checked instruction-word fetch.
+func (b *Bus) Fetch16(addr uint16) (uint16, *Violation) {
+	a := Access{Addr: align(addr), Kind: Execute}
+	if v := b.check(a); v != nil {
+		return 0, v
+	}
+	a.Value = b.rawRead16(addr)
+	b.observe(a)
+	return a.Value, nil
+}
+
+// ReadCodeWord implements isa.WordReader for side-effect-free decoding.
+func (b *Bus) ReadCodeWord(addr uint16) uint16 { return b.rawRead16(addr) }
+
+// Peek16 reads a word without checks or profiling (debugger/loader use).
+func (b *Bus) Peek16(addr uint16) uint16 { return b.rawRead16(addr) }
+
+// Peek8 reads a byte without checks or profiling.
+func (b *Bus) Peek8(addr uint16) uint8 {
+	if d := b.deviceAt(align(addr)); d != nil {
+		w := d.ReadWord(align(addr))
+		if addr&1 == 1 {
+			return uint8(w >> 8)
+		}
+		return uint8(w)
+	}
+	return b.data[addr]
+}
+
+// Poke16 writes a word without checks or profiling (loader use).
+func (b *Bus) Poke16(addr, v uint16) { b.rawWrite16(addr, v) }
+
+// Poke8 writes a byte without checks or profiling (loader use).
+func (b *Bus) Poke8(addr uint16, v uint8) {
+	if d := b.deviceAt(align(addr)); d != nil {
+		w := d.ReadWord(align(addr))
+		if addr&1 == 1 {
+			w = w&0x00FF | uint16(v)<<8
+		} else {
+			w = w&0xFF00 | uint16(v)
+		}
+		d.WriteWord(align(addr), w)
+		return
+	}
+	b.data[addr] = v
+}
+
+// LoadBytes copies raw bytes into memory at addr without checks (loader use).
+func (b *Bus) LoadBytes(addr uint16, p []byte) {
+	for i, v := range p {
+		b.data[addr+uint16(i)] = v
+	}
+}
+
+// Stats returns the cumulative numbers of data reads, data writes and
+// instruction fetches since creation.
+func (b *Bus) Stats() (reads, writes, fetches uint64) {
+	return b.reads, b.writes, b.fetches
+}
+
+// RegionName names the architectural region containing addr.
+func RegionName(addr uint16) string {
+	switch {
+	case InRegion(addr, PeriphLo, PeriphHi):
+		return "peripheral"
+	case InRegion(addr, BSLLo, BSLHi):
+		return "bsl"
+	case InRegion(addr, InfoLo, InfoHi):
+		return "infomem"
+	case InRegion(addr, SRAMLo, SRAMHi):
+		return "sram"
+	case InRegion(addr, FRAMLo, FRAMHi):
+		return "fram"
+	case addr >= VectLo:
+		return "vectors"
+	}
+	return "reserved"
+}

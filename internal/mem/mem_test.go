@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	b := NewBus()
+	if v := b.Write16(0x1C00, 0xBEEF); v != nil {
+		t.Fatalf("Write16: %v", v)
+	}
+	got, v := b.Read16(0x1C00)
+	if v != nil || got != 0xBEEF {
+		t.Fatalf("Read16 = %04X, %v; want BEEF", got, v)
+	}
+	lo, _ := b.Read8(0x1C00)
+	hi, _ := b.Read8(0x1C01)
+	if lo != 0xEF || hi != 0xBE {
+		t.Fatalf("bytes = %02X %02X, want EF BE (little endian)", lo, hi)
+	}
+}
+
+func TestByteWrite(t *testing.T) {
+	b := NewBus()
+	b.Poke16(0x2000, 0x1122)
+	if v := b.Write8(0x2000, 0xAA); v != nil {
+		t.Fatal(v)
+	}
+	if v := b.Write8(0x2001, 0xBB); v != nil {
+		t.Fatal(v)
+	}
+	if got := b.Peek16(0x2000); got != 0xBBAA {
+		t.Fatalf("Peek16 = %04X, want BBAA", got)
+	}
+}
+
+func TestWordAlignment(t *testing.T) {
+	b := NewBus()
+	b.Write16(0x2001, 0xCAFE) // odd address silently aligns down
+	if got := b.Peek16(0x2000); got != 0xCAFE {
+		t.Fatalf("aligned write: got %04X", got)
+	}
+	got, _ := b.Read16(0x2001)
+	if got != 0xCAFE {
+		t.Fatalf("aligned read: got %04X", got)
+	}
+}
+
+func TestUnwrittenFRAMReadsErased(t *testing.T) {
+	b := NewBus()
+	got, _ := b.Read16(0x5000)
+	if got != 0xFFFF {
+		t.Fatalf("erased FRAM = %04X, want FFFF", got)
+	}
+}
+
+func TestBSLIsReadOnly(t *testing.T) {
+	b := NewBus()
+	if v := b.Write16(0x1000, 1); v == nil {
+		t.Fatal("write to BSL ROM succeeded")
+	}
+	if v := b.Write8(0x17FF, 1); v == nil {
+		t.Fatal("byte write to BSL ROM succeeded")
+	}
+}
+
+// fakeDev is a single-register device recording accesses.
+type fakeDev struct {
+	val    uint16
+	reads  int
+	writes int
+}
+
+func (d *fakeDev) DeviceName() string { return "fake" }
+func (d *fakeDev) ReadWord(addr uint16) uint16 {
+	d.reads++
+	return d.val
+}
+func (d *fakeDev) WriteWord(addr uint16, v uint16) {
+	d.writes++
+	d.val = v
+}
+
+func TestDeviceMapping(t *testing.T) {
+	b := NewBus()
+	d := &fakeDev{val: 0x1234}
+	b.Map(0x0100, 0x0103, d)
+
+	got, _ := b.Read16(0x0100)
+	if got != 0x1234 {
+		t.Fatalf("device read = %04X", got)
+	}
+	b.Write16(0x0102, 0x5678)
+	if d.val != 0x5678 {
+		t.Fatalf("device write: val = %04X", d.val)
+	}
+	// Byte access composes with device words.
+	b.Write8(0x0101, 0xAB)
+	if d.val != 0xAB78 {
+		t.Fatalf("device byte write: val = %04X", d.val)
+	}
+	hi, _ := b.Read8(0x0101)
+	if hi != 0xAB {
+		t.Fatalf("device byte read = %02X", hi)
+	}
+	// Outside the mapping, plain memory: device write count must not move.
+	b.Write16(0x0104, 0x9999)
+	if d.writes != 2 {
+		t.Fatalf("device saw %d writes, want 2", d.writes)
+	}
+}
+
+func TestLaterMappingWins(t *testing.T) {
+	b := NewBus()
+	d1 := &fakeDev{val: 1}
+	d2 := &fakeDev{val: 2}
+	b.Map(0x0200, 0x020F, d1)
+	b.Map(0x0200, 0x0203, d2)
+	got, _ := b.Read16(0x0200)
+	if got != 2 {
+		t.Fatalf("overlapping map: read %d, want 2 (later mapping)", got)
+	}
+	got, _ = b.Read16(0x0204)
+	if got != 1 {
+		t.Fatalf("read outside overlay: %d, want 1", got)
+	}
+}
+
+// denyWrites blocks all writes above a threshold address.
+type denyWrites struct{ above uint16 }
+
+func (c denyWrites) CheckAccess(a Access) *Violation {
+	if a.Kind == Write && a.Addr >= c.above {
+		return &Violation{Access: a, Rule: "denied by test checker"}
+	}
+	return nil
+}
+
+func TestCheckerBlocksAndPreservesMemory(t *testing.T) {
+	b := NewBus()
+	b.Poke16(0x9000, 0x0BAD)
+	b.Checker = denyWrites{0x8000}
+	if v := b.Write16(0x9000, 0xFFFF); v == nil {
+		t.Fatal("checker did not block write")
+	}
+	if got := b.Peek16(0x9000); got != 0x0BAD {
+		t.Fatalf("blocked write mutated memory: %04X", got)
+	}
+	if v := b.Write16(0x7000, 0x1111); v != nil {
+		t.Fatalf("allowed write blocked: %v", v)
+	}
+}
+
+func TestOnAccessHookAndStats(t *testing.T) {
+	b := NewBus()
+	var seen []Access
+	b.OnAccess = func(a Access) { seen = append(seen, a) }
+	b.Write16(0x2000, 7)
+	b.Read16(0x2000)
+	b.Fetch16(0x4400)
+	if len(seen) != 3 {
+		t.Fatalf("hook saw %d accesses, want 3", len(seen))
+	}
+	if seen[0].Kind != Write || seen[1].Kind != Read || seen[2].Kind != Execute {
+		t.Fatalf("kinds = %v %v %v", seen[0].Kind, seen[1].Kind, seen[2].Kind)
+	}
+	r, w, f := b.Stats()
+	if r != 1 || w != 1 || f != 1 {
+		t.Fatalf("stats = %d %d %d", r, w, f)
+	}
+}
+
+func TestRegionName(t *testing.T) {
+	cases := map[uint16]string{
+		0x0000: "peripheral",
+		0x1000: "bsl",
+		0x1800: "infomem",
+		0x1C00: "sram",
+		0x4400: "fram",
+		0xFF7F: "fram",
+		0xFF80: "vectors",
+		0xFFFF: "vectors",
+		0x3000: "reserved",
+	}
+	for addr, want := range cases {
+		if got := RegionName(addr); got != want {
+			t.Errorf("RegionName(%04X) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestQuickByteWordConsistency(t *testing.T) {
+	b := NewBus()
+	f := func(addr, val uint16) bool {
+		addr |= 0x2000
+		addr &= 0x23FE // keep in SRAM, even
+		if v := b.Write16(addr, val); v != nil {
+			return false
+		}
+		lo, _ := b.Read8(addr)
+		hi, _ := b.Read8(addr + 1)
+		return uint16(lo)|uint16(hi)<<8 == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package mpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amuletiso/internal/mem"
+)
+
+// appPlan programs the unit the way the AFT does for a running app:
+// seg1 [FRAMLo, b1) execute-only, seg2 [b1, b2) read-write, seg3 no access.
+func appPlan(u *Unit, b1, b2 uint16) {
+	u.Configure(b1, b2,
+		RWX(1, false, false, true)|RWX(2, true, true, false)|RWX(0, false, false, false),
+		true)
+}
+
+func TestDisabledAllowsEverything(t *testing.T) {
+	u := New()
+	for _, a := range []mem.Access{
+		{Addr: 0x4400, Kind: mem.Execute},
+		{Addr: 0xFF00, Kind: mem.Write},
+		{Addr: 0x1800, Kind: mem.Read},
+	} {
+		if v := u.CheckAccess(a); v != nil {
+			t.Errorf("disabled MPU blocked %v: %v", a, v)
+		}
+	}
+}
+
+func TestAppPlanEnforcement(t *testing.T) {
+	u := New()
+	appPlan(u, 0x8000, 0xA000)
+
+	cases := []struct {
+		a  mem.Access
+		ok bool
+	}{
+		// seg1: execute-only (OS code, lower apps, own code)
+		{mem.Access{Addr: 0x4400, Kind: mem.Execute}, true},
+		{mem.Access{Addr: 0x4400, Kind: mem.Read}, false},
+		{mem.Access{Addr: 0x7FFE, Kind: mem.Write}, false},
+		// seg2: data/stack, read-write, never execute
+		{mem.Access{Addr: 0x8000, Kind: mem.Read}, true},
+		{mem.Access{Addr: 0x9FFE, Kind: mem.Write}, true},
+		{mem.Access{Addr: 0x9000, Kind: mem.Execute}, false},
+		// seg3: higher apps, no access at all
+		{mem.Access{Addr: 0xA000, Kind: mem.Read}, false},
+		{mem.Access{Addr: 0xF000, Kind: mem.Write}, false},
+		{mem.Access{Addr: 0xA000, Kind: mem.Execute}, false},
+		// InfoMem segment: configured no-access
+		{mem.Access{Addr: 0x1900, Kind: mem.Read}, false},
+		// Outside MPU coverage: SRAM, peripherals, vectors all pass (the flaw)
+		{mem.Access{Addr: 0x1C00, Kind: mem.Write}, true},
+		{mem.Access{Addr: 0x0200, Kind: mem.Write}, true},
+		{mem.Access{Addr: 0xFF80, Kind: mem.Write}, true},
+	}
+	for _, c := range cases {
+		v := u.CheckAccess(c.a)
+		if (v == nil) != c.ok {
+			t.Errorf("%s 0x%04X: got %v, want ok=%v", c.a.Kind, c.a.Addr, v, c.ok)
+		}
+	}
+}
+
+func TestViolationFlagsLatch(t *testing.T) {
+	u := New()
+	appPlan(u, 0x8000, 0xA000)
+	u.CheckAccess(mem.Access{Addr: 0x5000, Kind: mem.Write}) // seg1
+	u.CheckAccess(mem.Access{Addr: 0xB000, Kind: mem.Read})  // seg3
+	if u.Flags()&FlagSeg1 == 0 || u.Flags()&FlagSeg3 == 0 {
+		t.Fatalf("flags = %04X, want seg1|seg3", u.Flags())
+	}
+	if u.Violations() != 2 {
+		t.Fatalf("violations = %d", u.Violations())
+	}
+	// Write-0-to-clear via the register interface (unit must be unlocked).
+	u.WriteWord(RegCTL1, ^(FlagSeg1))
+	if u.Flags()&FlagSeg1 != 0 {
+		t.Fatal("seg1 flag did not clear")
+	}
+	if u.Flags()&FlagSeg3 == 0 {
+		t.Fatal("seg3 flag cleared unexpectedly")
+	}
+}
+
+func TestPasswordProtocol(t *testing.T) {
+	u := New()
+	u.WriteWord(RegCTL0, CtlEnable) // missing password
+	if u.Enabled() {
+		t.Fatal("enable without password took effect")
+	}
+	if u.Flags()&FlagPW == 0 {
+		t.Fatal("password violation flag not set")
+	}
+	u.WriteWord(RegCTL0, Password|CtlEnable)
+	if !u.Enabled() {
+		t.Fatal("enable with password ignored")
+	}
+	if got := u.ReadWord(RegCTL0) & pwMask; got != 0 {
+		t.Fatalf("password reads back: %04X", got)
+	}
+}
+
+func TestLockFreezesBoundaries(t *testing.T) {
+	u := New()
+	u.WriteWord(RegSEGB1, 0x8000)
+	u.WriteWord(RegCTL0, Password|CtlEnable|CtlLock)
+	u.WriteWord(RegSEGB1, 0x4400)
+	b1, _ := u.Boundaries()
+	if b1 != 0x8000 {
+		t.Fatalf("locked boundary moved to %04X", b1)
+	}
+	if u.Flags()&FlagPW == 0 {
+		t.Fatal("locked write did not flag")
+	}
+}
+
+func TestBoundaryGranularity(t *testing.T) {
+	u := New()
+	u.WriteWord(RegSEGB1, 0x8123) // not 1 KiB aligned
+	b1, _ := u.Boundaries()
+	if b1 != 0x8000 {
+		t.Fatalf("boundary = %04X, want snap down to 8000", b1)
+	}
+	// Configure() snaps too.
+	u.Configure(0x87FF, 0x8BFF, 0x7777, false)
+	b1, b2 := u.Boundaries()
+	if b1 != 0x8400 || b2 != 0x8800 {
+		t.Fatalf("configure boundaries = %04X %04X", b1, b2)
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	u := New()
+	u.WriteWord(RegSAM, 0x0123)
+	if got := u.ReadWord(RegSAM); got != 0x0123 {
+		t.Fatalf("SAM = %04X", got)
+	}
+	u.WriteWord(RegSEGB2, 0xA000)
+	if got := u.ReadWord(RegSEGB2); got != 0xA000 {
+		t.Fatalf("SEGB2 = %04X", got)
+	}
+}
+
+func TestAdvancedCapabilityCoversLowMemory(t *testing.T) {
+	u := New()
+	u.Cap = CapabilityAdvanced
+	appPlan(u, 0x8000, 0xA000)
+	// With the hypothetical part, SRAM and peripherals fall into segment 1
+	// (execute-only), so a stray data write below the app now faults without
+	// any compiler check.
+	if v := u.CheckAccess(mem.Access{Addr: 0x1C00, Kind: mem.Write}); v == nil {
+		t.Fatal("advanced MPU did not protect SRAM")
+	}
+	if v := u.CheckAccess(mem.Access{Addr: 0x0200, Kind: mem.Write}); v == nil {
+		t.Fatal("advanced MPU did not protect peripherals")
+	}
+	// Vectors remain reachable only via OS plans (outside segment coverage).
+	if v := u.CheckAccess(mem.Access{Addr: 0xFF80, Kind: mem.Read}); v != nil {
+		t.Fatalf("vector read blocked: %v", v)
+	}
+}
+
+func TestOnViolationCallback(t *testing.T) {
+	u := New()
+	appPlan(u, 0x8000, 0xA000)
+	var got *mem.Violation
+	u.OnViolation = func(v *mem.Violation) { got = v }
+	u.CheckAccess(mem.Access{Addr: 0xB000, Kind: mem.Write})
+	if got == nil || got.Access.Addr != 0xB000 {
+		t.Fatalf("callback saw %v", got)
+	}
+}
+
+func TestQuickSegmentPartition(t *testing.T) {
+	// Property: with any (aligned) boundaries, every FRAM address belongs to
+	// exactly one segment, and segments are ordered seg1 < seg2 < seg3.
+	u := New()
+	f := func(rb1, rb2, addr uint16) bool {
+		b1 := mem.FRAMLo + rb1%0x4000
+		b2 := b1 + rb2%0x4000
+		u.Configure(b1, b2, 0, true)
+		a := mem.FRAMLo + addr%(mem.FRAMHi-mem.FRAMLo)
+		seg := u.segmentOf(a)
+		cb1, cb2 := u.Boundaries()
+		switch seg {
+		case 1:
+			return a < cb1
+		case 2:
+			return a >= cb1 && a < cb2
+		case 3:
+			return a >= cb2
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
