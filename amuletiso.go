@@ -24,9 +24,13 @@
 package amuletiso
 
 import (
+	"context"
+
 	"amuletiso/internal/apps"
 	"amuletiso/internal/arp"
 	"amuletiso/internal/core"
+	"amuletiso/internal/fleet"
+	"amuletiso/internal/kernel"
 )
 
 // Mode selects the memory-isolation model (the paper's four columns).
@@ -101,4 +105,29 @@ type Overhead = arp.Overhead
 // its weekly isolation overhead — the per-app ARP entry point.
 func MeasureApp(app App, mode Mode, sampleMS uint64) (*Overhead, error) {
 	return arp.Measure(app, mode, sampleMS)
+}
+
+// FleetScenario configures a concurrent multi-device simulation: the app
+// set, isolation mode, wear window, fleet size and seed, plus optional event
+// schedule and fault-injection knobs. See cmd/amuletfleet for the CLI form.
+type FleetScenario = fleet.Scenario
+
+// FleetEvent is one entry of a FleetScenario's event schedule.
+type FleetEvent = fleet.ScheduledEvent
+
+// RestartPolicy governs what happens to faulting apps (a FleetScenario's
+// Policy field, and the kernel's default fault handling).
+type RestartPolicy = kernel.RestartPolicy
+
+// FleetReport aggregates a fleet run: totals, per-device percentile
+// summaries and fault histograms. Reports of disjoint shards of the same
+// scenario merge with its Merge method.
+type FleetReport = fleet.Report
+
+// RunFleet simulates the scenario's devices in parallel (bounded by
+// GOMAXPROCS), compiling each (app set, mode) firmware exactly once. The
+// same scenario always produces an identical report, independent of worker
+// scheduling.
+func RunFleet(ctx context.Context, sc FleetScenario) (*FleetReport, error) {
+	return fleet.Run(ctx, sc)
 }

@@ -15,8 +15,11 @@ package amuletiso
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"amuletiso/internal/abi"
 	"amuletiso/internal/aft"
@@ -24,6 +27,7 @@ import (
 	"amuletiso/internal/arp"
 	"amuletiso/internal/cc"
 	"amuletiso/internal/cpu"
+	"amuletiso/internal/fleet"
 	"amuletiso/internal/kernel"
 	"amuletiso/internal/mpu"
 )
@@ -265,5 +269,41 @@ func BenchmarkSimulator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dispatchOnce(b, k, apps.EvMemOps, 100)
+	}
+}
+
+// BenchmarkFleetThroughput measures fleet-simulation scaling: devices per
+// second at 1, 4 and GOMAXPROCS workers, so future sharding/batching PRs can
+// track whether the worker pool keeps up with the hardware.
+func BenchmarkFleetThroughput(b *testing.B) {
+	pedometer, _ := AppByName("pedometer")
+	hr, _ := AppByName("hr")
+	sc := fleet.Scenario{
+		Name:       "bench",
+		Apps:       []App{pedometer, hr},
+		Mode:       cc.ModeMPU,
+		DurationMS: 2_000,
+		Devices:    32,
+		Seed:       1,
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := &fleet.Runner{Workers: workers, Cache: fleet.NewBuildCache()}
+			// Prime the build cache so the loop measures simulation, not
+			// the one-time compile.
+			if _, err := runner.Run(context.Background(), sc); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(context.Background(), sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			b.ReportMetric(float64(b.N*sc.Devices)/elapsed, "devices/sec")
+		})
 	}
 }

@@ -1,0 +1,168 @@
+// Command amuletfleet simulates a fleet of independent Amulet devices in
+// parallel and reports aggregate isolation-workload statistics.
+//
+//	amuletfleet -devices 1000 -mode mpu -seed 42
+//	amuletfleet -devices 200 -mode all -apps pedometer,hr -ms 120000 -json
+//
+// Each device runs the same application set under the same isolation mode
+// for the same virtual wear window, but with its own deterministically
+// derived noise seed, so the fleet sees decorrelated workloads while the
+// whole run stays reproducible: the same fleet seed produces an identical
+// report at any -parallel setting. Firmware for each (app set, mode) pair is
+// compiled exactly once and shared by every device.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"amuletiso"
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/fleet"
+	"amuletiso/internal/kernel"
+)
+
+func main() {
+	devices := flag.Int("devices", 100, "number of simulated devices")
+	firstDevice := flag.Int("first-device", 0, "first device index (for sharding a fleet across machines)")
+	modeName := flag.String("mode", "mpu", "isolation mode (or 'all')")
+	appList := flag.String("apps", "", "comma-separated app names (default: the nine-app suite)")
+	ms := flag.Uint64("ms", 60_000, "virtual milliseconds of wear per device")
+	seed := flag.Uint64("seed", 1, "fleet seed (per-device seeds derive from it)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	buttonEvery := flag.Uint64("button-every", 0, "inject a button press every N ms (0 = off)")
+	faultEvery := flag.Uint64("fault-every", 0, "inject a fault into -fault-app every N ms (0 = off)")
+	faultApp := flag.Int("fault-app", 0, "app index targeted by -fault-every")
+	maxFaults := flag.Int("max-faults", 3, "restart policy: faults before an app stays dead")
+	backoff := flag.Uint64("backoff", 1000, "restart policy: backoff before restart, ms")
+	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON on stdout")
+	name := flag.String("name", "fleet", "scenario name recorded in the report")
+	flag.Parse()
+
+	modes, err := parseModes(*modeName)
+	if err != nil {
+		fail(err)
+	}
+	list, err := parseApps(*appList)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := &fleet.Runner{Workers: *parallel, Cache: fleet.NewBuildCache()}
+	var reports []*fleet.Report
+	for _, mode := range modes {
+		sc := fleet.Scenario{
+			Name:          *name,
+			Apps:          list,
+			Mode:          mode,
+			DurationMS:    *ms,
+			Devices:       *devices,
+			FirstDevice:   *firstDevice,
+			Seed:          *seed,
+			ButtonEveryMS: *buttonEvery,
+			FaultEveryMS:  *faultEvery,
+			FaultApp:      *faultApp,
+			Policy:        &kernel.RestartPolicy{MaxFaults: *maxFaults, BackoffMS: *backoff},
+		}
+		start := time.Now()
+		rep, err := runner.Run(ctx, sc)
+		if err != nil {
+			fail(err)
+		}
+		reports = append(reports, rep)
+		if !*jsonOut {
+			printHuman(rep, time.Since(start))
+		}
+	}
+	builds, hits := runner.Cache.Stats()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		// A single mode emits one object (the stable scripting interface);
+		// -mode all emits an array.
+		if len(reports) == 1 {
+			err = enc.Encode(reports[0])
+		} else {
+			err = enc.Encode(reports)
+		}
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Printf("firmware builds: %d (%d cache hits)\n", builds, hits)
+	}
+}
+
+// parseModes resolves a mode flag: one name, or "all" for every model.
+func parseModes(name string) ([]cc.Mode, error) {
+	if strings.EqualFold(name, "all") {
+		return cc.Modes, nil
+	}
+	for _, m := range cc.Modes {
+		if strings.EqualFold(m.String(), name) {
+			return []cc.Mode{m}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown mode %q (try NoIsolation, FeatureLimited, SoftwareOnly, MPU or all)", name)
+}
+
+// parseApps resolves the app-set flag against the bundled registry; empty
+// selects the full nine-app suite.
+func parseApps(list string) ([]apps.App, error) {
+	if list == "" {
+		return amuletiso.Suite(), nil
+	}
+	var out []apps.App
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		app, ok := amuletiso.AppByName(name)
+		if !ok {
+			return nil, fmt.Errorf("no bundled app %q", name)
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+func printHuman(r *fleet.Report, elapsed time.Duration) {
+	fmt.Printf("%s: %d devices × %d ms under %s (seed %d)\n",
+		r.Scenario, r.Devices, r.DurationMS, r.Mode, r.Seed)
+	fmt.Printf("  events=%d dispatches=%d syscalls=%d cycles=%d\n",
+		r.TotalEvents, r.TotalDispatches, r.TotalSyscalls, r.TotalCycles)
+	fmt.Printf("  device cycles: min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+		r.CycleSummary.Min, r.CycleSummary.P50, r.CycleSummary.P90,
+		r.CycleSummary.P99, r.CycleSummary.Max)
+	fmt.Printf("  weekly battery impact %%: p50=%.3f p99=%.3f max=%.3f\n",
+		r.BatterySummary.P50, r.BatterySummary.P99, r.BatterySummary.Max)
+	if r.TotalFaults > 0 {
+		fmt.Printf("  faults=%d across %d devices\n", r.TotalFaults, r.DevicesFaulted)
+		reasons := make([]string, 0, len(r.FaultReasons))
+		for reason := range r.FaultReasons {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Printf("    %4d× %s\n", r.FaultReasons[reason], reason)
+		}
+	}
+	rate := float64(r.Devices) / elapsed.Seconds()
+	fmt.Printf("  wall: %.2fs on %d CPUs (%.0f devices/sec)\n",
+		elapsed.Seconds(), runtime.GOMAXPROCS(0), rate)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amuletfleet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module amuletiso
+
+go 1.24

@@ -67,6 +67,11 @@ type AppInfo struct {
 }
 
 // Firmware is a linked multi-app image plus everything the kernel needs.
+//
+// A Firmware is immutable after Build: the kernel clones the image bytes
+// into its own bus at boot and only reads the app descriptors, so a single
+// built Firmware may back any number of concurrently running kernels — the
+// property fleet simulation's build cache relies on.
 type Firmware struct {
 	Mode  cc.Mode
 	Image *asm.Image

@@ -30,6 +30,16 @@ const DefaultSampleMS = 20 * 60 * 1000
 // MSPerWeek is the extrapolation target.
 const MSPerWeek = 7 * 24 * 3600 * 1000
 
+// ExtrapolateWeekly scales active cycles observed during a sampled window of
+// virtual wear to a full week — the extrapolation step shared by Figure 2
+// and the fleet report's battery projections.
+func ExtrapolateWeekly(cycles float64, sampleMS uint64) float64 {
+	if sampleMS == 0 {
+		return 0
+	}
+	return cycles * float64(MSPerWeek) / float64(sampleMS)
+}
+
 // Sample is one app × mode profiling run.
 type Sample struct {
 	App        string
@@ -101,7 +111,7 @@ func Measure(app apps.App, mode cc.Mode, sampleMS uint64) (*Overhead, error) {
 	if over < 0 {
 		over = 0
 	}
-	weekly := over * float64(MSPerWeek) / float64(sampleMS)
+	weekly := ExtrapolateWeekly(over, sampleMS)
 	return &Overhead{
 		App:               app.Name,
 		Title:             app.Title,

@@ -343,3 +343,32 @@ __start:
 		}
 	}
 }
+
+func TestImageClone(t *testing.T) {
+	img, err := Assemble(`
+.org 0x4400
+__start:
+        MOV  #0x1234, R4
+        RETI
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := img.Clone()
+	if cp.Entry != img.Entry || cp.Size() != img.Size() {
+		t.Fatalf("clone shape differs: entry %04X/%04X size %d/%d",
+			cp.Entry, img.Entry, cp.Size(), img.Size())
+	}
+	if len(cp.Symbols) != len(img.Symbols) {
+		t.Fatalf("clone lost symbols: %d vs %d", len(cp.Symbols), len(img.Symbols))
+	}
+	// Mutating the clone must not touch the original (deep copy).
+	cp.Segments[0].Data[0] ^= 0xFF
+	cp.Symbols["extra"] = 0x4400
+	if img.Segments[0].Data[0] == cp.Segments[0].Data[0] {
+		t.Error("clone shares segment bytes with the original")
+	}
+	if _, ok := img.Symbols["extra"]; ok {
+		t.Error("clone shares the symbol table with the original")
+	}
+}

@@ -108,11 +108,33 @@ func (img *Image) MustSym(name string) uint16 {
 	return v
 }
 
-// LoadInto copies all segments into the bus (loader path, unchecked).
+// LoadInto copies all segments into the bus (loader path, unchecked). The
+// image itself is untouched: every loaded machine gets its own byte copy, so
+// one linked image can boot any number of concurrent machines.
 func (img *Image) LoadInto(b *mem.Bus) {
 	for _, s := range img.Segments {
 		b.LoadBytes(s.Addr, s.Data)
 	}
+}
+
+// Clone returns a deep copy of the image — segments, symbols and entry —
+// for callers that need a mutable copy (patching experiments, per-device
+// firmware variants) without re-running the linker.
+func (img *Image) Clone() *Image {
+	cp := &Image{
+		Segments: make([]Segment, len(img.Segments)),
+		Symbols:  make(map[string]uint16, len(img.Symbols)),
+		Entry:    img.Entry,
+	}
+	for i, s := range img.Segments {
+		data := make([]byte, len(s.Data))
+		copy(data, s.Data)
+		cp.Segments[i] = Segment{Addr: s.Addr, Data: data}
+	}
+	for name, v := range img.Symbols {
+		cp.Symbols[name] = v
+	}
+	return cp
 }
 
 // Merge copies another image's segments and symbols into img. Symbol

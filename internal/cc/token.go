@@ -79,6 +79,6 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("cc: line %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
-func errf(line, col int, format string, args ...interface{}) *Error {
+func errf(line, col int, format string, args ...any) *Error {
 	return &Error{line, col, fmt.Sprintf(format, args...)}
 }

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"amuletiso/internal/aft"
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cc"
+)
+
+// BuildCache memoizes firmware builds by (app set, isolation mode), so a
+// fleet of N devices running the same scenario compiles and links exactly
+// once and every device boots from the shared immutable image (the kernel
+// clones the image bytes into its private bus at load).
+//
+// The cache is safe for concurrent use; concurrent requests for the same key
+// coalesce onto a single build.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	builds  int
+	hits    int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	fw   *aft.Firmware
+	err  error
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: make(map[string]*cacheEntry)}
+}
+
+// cacheKey fingerprints an app set and mode. Sources are included whole:
+// two registries whose apps share a name but differ in source must not
+// collide.
+func cacheKey(list []apps.App, mode cc.Mode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%d", int(mode))
+	for _, a := range list {
+		fmt.Fprintf(&b, "|%q;%q;%q;%d", a.Name, a.Source, a.RestrictedSource, a.StackBytes)
+	}
+	return b.String()
+}
+
+// Get returns the firmware for the app set under the mode, building it on
+// first use. Callers on other goroutines requesting the same key block until
+// the one build completes and then share its result.
+func (c *BuildCache) Get(list []apps.App, mode cc.Mode) (*aft.Firmware, error) {
+	key := cacheKey(list, mode)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		srcs := make([]aft.AppSource, len(list))
+		for i, a := range list {
+			srcs[i] = a.AFT()
+		}
+		e.fw, e.err = aft.Build(srcs, mode)
+		c.mu.Lock()
+		c.builds++
+		c.mu.Unlock()
+	})
+	return e.fw, e.err
+}
+
+// Stats reports how many builds ran and how many requests were served from
+// the cache instead.
+func (c *BuildCache) Stats() (builds, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds, c.hits
+}

@@ -1,0 +1,295 @@
+// Package fleet simulates fleets of independent Amulet devices concurrently:
+// the scaling substrate that turns the single-device reproduction into an
+// experiment platform. A Scenario describes one device's configuration (app
+// set, isolation mode, event schedule, fault-injection knobs) plus the fleet
+// shape (device count, fleet seed); a Runner shards the devices over a
+// bounded worker pool where each worker owns one kernel at a time.
+//
+// Three properties make fleets cheap and reproducible:
+//
+//   - each (app set, mode) pair is compiled and linked exactly once through
+//     a BuildCache; devices boot by cloning the shared image bytes into
+//     their private bus rather than recompiling;
+//   - every device's noise sources derive from a per-device seed obtained by
+//     splitmix64 from the fleet seed, so device i's workload is the same no
+//     matter which worker runs it, in which order, at which parallelism;
+//   - the Report sorts per-device results by device index before computing
+//     aggregates, so serialized reports are byte-identical across runs and
+//     worker counts.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"amuletiso/internal/aft"
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/kernel"
+)
+
+// ScheduledEvent is one entry of a scenario's event schedule, delivered to
+// every device: Code/Arg posted to App at AtMS, re-armed every PeriodMS when
+// PeriodMS > 0.
+type ScheduledEvent struct {
+	AtMS     uint64
+	App      int
+	Code     uint16
+	Arg      uint16
+	PeriodMS uint64
+}
+
+// Scenario configures a fleet run: what every device runs and how many of
+// them to simulate.
+type Scenario struct {
+	// Name labels the report.
+	Name string
+	// Apps is the application set each device boots (required).
+	Apps []apps.App
+	// Mode is the isolation model.
+	Mode cc.Mode
+	// DurationMS is the virtual wear window per device (required).
+	DurationMS uint64
+	// Devices is the fleet size (required).
+	Devices int
+	// FirstDevice offsets this run's device indices: it simulates devices
+	// [FirstDevice, FirstDevice+Devices). Per-device seeds depend only on
+	// the global index, so disjoint shards of one scenario — run anywhere,
+	// at any parallelism — Merge into exactly the union run's report.
+	FirstDevice int
+	// Seed is the fleet seed; per-device seeds derive from it.
+	Seed uint64
+
+	// Events is an optional schedule posted to every device at boot.
+	Events []ScheduledEvent
+	// ButtonEveryMS injects a button press (cycling buttons 1-3, sequence
+	// derived from the device seed) every interval, when > 0.
+	ButtonEveryMS uint64
+	// FaultEveryMS injects a synthetic fault into FaultApp every interval,
+	// when > 0 — the knob that exercises kernel.RestartPolicy at scale.
+	FaultEveryMS uint64
+	// FaultApp is the app index FaultEveryMS targets.
+	FaultApp int
+	// Policy overrides the kernel's default restart policy when non-nil.
+	Policy *kernel.RestartPolicy
+}
+
+// validate rejects scenarios the runner cannot execute.
+func (sc *Scenario) validate() error {
+	if len(sc.Apps) == 0 {
+		return fmt.Errorf("fleet: scenario has no apps")
+	}
+	if sc.Devices <= 0 {
+		return fmt.Errorf("fleet: scenario needs a positive device count (got %d)", sc.Devices)
+	}
+	if sc.FirstDevice < 0 {
+		return fmt.Errorf("fleet: negative first device %d", sc.FirstDevice)
+	}
+	if sc.DurationMS == 0 {
+		return fmt.Errorf("fleet: scenario needs a positive duration")
+	}
+	if sc.FaultEveryMS > 0 && (sc.FaultApp < 0 || sc.FaultApp >= len(sc.Apps)) {
+		return fmt.Errorf("fleet: fault app %d out of range (%d apps)", sc.FaultApp, len(sc.Apps))
+	}
+	for i, ev := range sc.Events {
+		if ev.App < 0 || ev.App >= len(sc.Apps) {
+			return fmt.Errorf("fleet: event %d targets app %d, out of range (%d apps)",
+				i, ev.App, len(sc.Apps))
+		}
+	}
+	return nil
+}
+
+// Runner executes scenarios over a worker pool. The zero value is usable:
+// GOMAXPROCS workers and a private build cache.
+type Runner struct {
+	// Workers bounds the pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache is the firmware build cache; nil allocates a private one. Share
+	// a cache across runs to reuse builds between scenarios (e.g. the same
+	// app set under several modes still builds once per mode).
+	Cache *BuildCache
+}
+
+// workerCount resolves the effective pool size.
+func (r *Runner) workerCount() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run simulates the scenario's fleet and aggregates the per-device results.
+// It returns early with ctx's error when cancelled.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	cache := r.Cache
+	if cache == nil {
+		cache = NewBuildCache()
+	}
+	// Build up front: one compile+link per (app set, mode), shared by every
+	// device. The firmware is immutable, so workers need no further locking.
+	fw, err := cache.Get(sc.Apps, sc.Mode)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]DeviceResult, sc.Devices)
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < r.workerCount(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := simulate(ctx, &sc, fw, sc.FirstDevice+i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = res // workers own disjoint slots
+			}
+		}()
+	}
+feed:
+	for i := 0; i < sc.Devices; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &Report{
+		Scenario:   sc.Name,
+		Mode:       sc.Mode.String(),
+		Seed:       sc.Seed,
+		DurationMS: sc.DurationMS,
+		PerDevice:  results,
+	}
+	rep.finalize()
+	return rep, nil
+}
+
+// Run executes the scenario with a default runner (GOMAXPROCS workers,
+// private build cache).
+func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	return (&Runner{}).Run(ctx, sc)
+}
+
+// splitmix64 is the SplitMix64 output function: the standard way to expand
+// one seed into a stream of decorrelated ones.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeviceSeed derives device i's kernel seed from the fleet seed. The
+// derivation is position-based, so a device's workload does not depend on
+// which worker simulates it or when.
+func DeviceSeed(fleetSeed uint64, device int) uint32 {
+	s := uint32(splitmix64(fleetSeed + uint64(device) + 1))
+	if s == 0 {
+		s = 0xA5A5A5A5
+	}
+	return s
+}
+
+// simulate runs one device start to finish: boot a kernel from the shared
+// firmware with the device's seed, install the schedule, and walk the wear
+// window in injection-bounded chunks (which double as cancellation points).
+func simulate(ctx context.Context, sc *Scenario, fw *aft.Firmware, device int) (DeviceResult, error) {
+	seed := DeviceSeed(sc.Seed, device)
+	k := kernel.NewSeeded(fw, seed)
+	if sc.Policy != nil {
+		k.Policy = *sc.Policy
+	}
+	for _, ev := range sc.Events {
+		k.PostPeriodic(ev.App, ev.Code, ev.Arg, ev.AtMS, ev.PeriodMS)
+	}
+
+	events := 0
+	now := uint64(0)
+	nextButton := injectStart(sc.ButtonEveryMS)
+	nextFault := injectStart(sc.FaultEveryMS)
+	buttonRNG := uint64(seed)
+	for now < sc.DurationMS {
+		if err := ctx.Err(); err != nil {
+			return DeviceResult{}, err
+		}
+		next := sc.DurationMS
+		if nextButton < next {
+			next = nextButton
+		}
+		if nextFault < next {
+			next = nextFault
+		}
+		events += k.RunUntil(next)
+		now = next
+		if now == nextButton {
+			buttonRNG = splitmix64(buttonRNG)
+			k.InjectButton(uint16(buttonRNG%3) + 1)
+			nextButton += sc.ButtonEveryMS
+		}
+		if now == nextFault {
+			k.InjectFault(sc.FaultApp, "fleet: injected fault")
+			nextFault += sc.FaultEveryMS
+		}
+	}
+
+	dispatches, syscalls, cycles := k.Totals()
+	res := DeviceResult{
+		Device:           device,
+		Seed:             seed,
+		Events:           events,
+		Dispatches:       dispatches,
+		Syscalls:         syscalls,
+		Cycles:           cycles,
+		OSCycles:         k.OSCycles,
+		Faults:           len(k.Faults),
+		WeeklyBatteryPct: batteryPct(cycles, sc.DurationMS),
+	}
+	for _, a := range k.Apps {
+		if a.Alive {
+			res.AppsAlive++
+		}
+	}
+	for _, f := range k.Faults {
+		res.FaultReasons = append(res.FaultReasons, f.Reason)
+	}
+	return res, nil
+}
+
+// injectStart returns the first firing time of a periodic injection knob, or
+// an effectively-never sentinel when the knob is off.
+func injectStart(everyMS uint64) uint64 {
+	if everyMS == 0 {
+		return ^uint64(0)
+	}
+	return everyMS
+}

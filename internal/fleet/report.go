@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"amuletiso/internal/arp"
+	"amuletiso/internal/energy"
+)
+
+// DeviceResult is the outcome of simulating one device: the accounting the
+// kernel accumulated over the scenario's wear window, plus the per-device
+// battery projection. Results are pure functions of (firmware, device seed,
+// scenario), so they are identical across runs and worker counts.
+type DeviceResult struct {
+	Device int    `json:"device"`
+	Seed   uint32 `json:"seed"`
+
+	Events     int    `json:"events"` // delivered by the scheduler
+	Dispatches uint64 `json:"dispatches"`
+	Syscalls   uint64 `json:"syscalls"`
+	Cycles     uint64 `json:"cycles"`   // active cycles across all apps
+	OSCycles   uint64 `json:"osCycles"` // modeled scheduler/service share
+	Faults     int    `json:"faults"`
+	AppsAlive  int    `json:"appsAlive"`
+
+	FaultReasons []string `json:"faultReasons,omitempty"`
+
+	// WeeklyBatteryPct projects this device's active-cycle load, extrapolated
+	// to a week of wear, onto the battery model's weekly energy budget.
+	WeeklyBatteryPct float64 `json:"weeklyBatteryPct"`
+}
+
+// Summary holds order statistics over one per-device metric.
+type Summary struct {
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// summarize computes nearest-rank percentiles over the values.
+func summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(p/100*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Min:  s[0],
+		P50:  rank(50),
+		P90:  rank(90),
+		P99:  rank(99),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+}
+
+// Report aggregates a fleet run. Reports are mergeable: shards of the same
+// scenario simulated on different machines (or in different calls) combine
+// with Merge, and every aggregate is recomputed from the per-device results,
+// so a merged report equals the report of the union run.
+type Report struct {
+	Scenario   string `json:"scenario"`
+	Mode       string `json:"mode"`
+	Devices    int    `json:"devices"`
+	Seed       uint64 `json:"seed"`
+	DurationMS uint64 `json:"durationMS"`
+
+	TotalEvents     int    `json:"totalEvents"`
+	TotalDispatches uint64 `json:"totalDispatches"`
+	TotalSyscalls   uint64 `json:"totalSyscalls"`
+	TotalCycles     uint64 `json:"totalCycles"`
+	TotalFaults     int    `json:"totalFaults"`
+	DevicesFaulted  int    `json:"devicesFaulted"`
+
+	// FaultReasons histograms fault records across the fleet. JSON encoding
+	// sorts map keys, keeping serialized reports deterministic.
+	FaultReasons map[string]int `json:"faultReasons,omitempty"`
+
+	CycleSummary   Summary `json:"cycleSummary"`
+	BatterySummary Summary `json:"batterySummary"`
+
+	PerDevice []DeviceResult `json:"perDevice"`
+}
+
+// finalize recomputes every aggregate from PerDevice, which it sorts by
+// device index so serialized reports are independent of completion order.
+func (r *Report) finalize() {
+	sort.Slice(r.PerDevice, func(i, j int) bool {
+		return r.PerDevice[i].Device < r.PerDevice[j].Device
+	})
+	r.Devices = len(r.PerDevice)
+	r.TotalEvents, r.TotalDispatches, r.TotalSyscalls = 0, 0, 0
+	r.TotalCycles, r.TotalFaults, r.DevicesFaulted = 0, 0, 0
+	r.FaultReasons = nil
+	cycles := make([]float64, 0, len(r.PerDevice))
+	battery := make([]float64, 0, len(r.PerDevice))
+	for _, d := range r.PerDevice {
+		r.TotalEvents += d.Events
+		r.TotalDispatches += d.Dispatches
+		r.TotalSyscalls += d.Syscalls
+		r.TotalCycles += d.Cycles
+		r.TotalFaults += d.Faults
+		if d.Faults > 0 {
+			r.DevicesFaulted++
+		}
+		for _, reason := range d.FaultReasons {
+			if r.FaultReasons == nil {
+				r.FaultReasons = make(map[string]int)
+			}
+			r.FaultReasons[reason]++
+		}
+		cycles = append(cycles, float64(d.Cycles))
+		battery = append(battery, d.WeeklyBatteryPct)
+	}
+	r.CycleSummary = summarize(cycles)
+	r.BatterySummary = summarize(battery)
+}
+
+// Merge folds another shard of the same scenario into r. The shards must
+// agree on scenario identity (name, mode, seed, duration) and must not
+// overlap in device indices.
+func (r *Report) Merge(other *Report) error {
+	if r.Scenario != other.Scenario || r.Mode != other.Mode ||
+		r.Seed != other.Seed || r.DurationMS != other.DurationMS {
+		return fmt.Errorf("fleet: cannot merge reports of different scenarios (%s/%s/%d vs %s/%s/%d)",
+			r.Scenario, r.Mode, r.Seed, other.Scenario, other.Mode, other.Seed)
+	}
+	seen := make(map[int]bool, len(r.PerDevice))
+	for _, d := range r.PerDevice {
+		seen[d.Device] = true
+	}
+	for _, d := range other.PerDevice {
+		if seen[d.Device] {
+			return fmt.Errorf("fleet: merge overlap at device %d", d.Device)
+		}
+	}
+	r.PerDevice = append(r.PerDevice, other.PerDevice...)
+	r.finalize()
+	return nil
+}
+
+// batteryPct projects a device's cycles over the scenario window to a weekly
+// battery-budget percentage (the Figure 2 right-axis units, applied to whole
+// workloads rather than isolation overheads).
+func batteryPct(cycles uint64, durationMS uint64) float64 {
+	return energy.BatteryImpactPercent(arp.ExtrapolateWeekly(float64(cycles), durationMS))
+}

@@ -14,7 +14,6 @@
 package kernel
 
 import (
-	"container/heap"
 	"fmt"
 
 	"amuletiso/internal/abi"
@@ -46,23 +45,54 @@ type Event struct {
 	seq    uint64
 }
 
-type eventHeap []Event
+// eventQueue is a typed binary min-heap of events ordered by (Due, seq) —
+// the same invariants container/heap maintained, without the boxing.
+type eventQueue []Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Due != h[j].Due {
-		return h[i].Due < h[j].Due
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].Due != q[j].Due {
+		return q[i].Due < q[j].Due
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (q *eventQueue) push(e Event) {
+	h := append(*q, e)
+	*q = h
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() Event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && h.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // FaultRecord logs one isolation fault.
@@ -120,7 +150,7 @@ type Kernel struct {
 	Display *Display
 	Sensors *Sensors
 
-	queue      eventHeap
+	queue      eventQueue
 	seq        uint64
 	rng        uint32
 	curApp     int
@@ -149,14 +179,33 @@ func (p *kernelPorts) WriteWord(addr uint16, v uint16) {
 }
 
 // New boots a kernel around the firmware: machine assembly, image load, MPU
-// plan, and an EvInit for every app at t=0.
-func New(fw *aft.Firmware) *Kernel {
+// plan, and an EvInit for every app at t=0. It uses the historical default
+// noise seeds; fleets of decorrelated devices use NewSeeded.
+func New(fw *aft.Firmware) *Kernel { return NewSeeded(fw, 0) }
+
+// NewSeeded boots a kernel whose deterministic noise sources (the amulet_rand
+// LCG and the sensor suite) derive from seed, so many simulated devices built
+// from the same firmware see distinct but reproducible workloads. Seed 0
+// selects the defaults New has always used (LCG 0x1234, sensor stream 1).
+//
+// The firmware is not mutated: the image bytes are cloned into this kernel's
+// private bus, so one built Firmware may back any number of concurrently
+// running kernels.
+func NewSeeded(fw *aft.Firmware, seed uint32) *Kernel {
 	bus := mem.NewBus()
 	c := cpu.New(bus)
 	u := mpu.New()
 	bus.Map(mpu.RegLo, mpu.RegHi, u)
 	bus.Checker = u
 
+	rng, stream := uint32(0x1234), uint32(1)
+	if seed != 0 {
+		rng = seed*2654435761 + 0x9E3779B9
+		if rng == 0 {
+			rng = 0x1234
+		}
+		stream = seed
+	}
 	k := &Kernel{
 		FW:      fw,
 		CPU:     c,
@@ -164,8 +213,8 @@ func New(fw *aft.Firmware) *Kernel {
 		MPU:     u,
 		Policy:  RestartPolicy{MaxFaults: 3, BackoffMS: 1000},
 		Display: NewDisplay(),
-		Sensors: NewSensors(1),
-		rng:     0x1234,
+		Sensors: NewSensors(stream),
+		rng:     rng,
 	}
 	bus.Map(abi.PortFault, abi.PortSvcExtra+1, &kernelPorts{k})
 	fw.Image.LoadInto(bus)
@@ -183,12 +232,39 @@ func New(fw *aft.Firmware) *Kernel {
 func (k *Kernel) post(e Event) {
 	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.queue.push(e)
 }
 
 // Post schedules an event from the outside (tests, examples).
 func (k *Kernel) Post(app int, code, arg uint16, inMS uint64) {
 	k.post(Event{Due: k.NowMS + inMS, App: app, Code: code, Arg: arg})
+}
+
+// PostPeriodic schedules an event that re-arms every periodMS after its
+// first delivery at inMS — the scenario-schedule entry point fleets use.
+func (k *Kernel) PostPeriodic(app int, code, arg uint16, inMS, periodMS uint64) {
+	k.post(Event{Due: k.NowMS + inMS, App: app, Code: code, Arg: arg, Period: periodMS})
+}
+
+// InjectFault records a synthetic fault against an app, running the same
+// restart policy as a real isolation fault. Fault-injection harnesses use it
+// to exercise recovery paths without crafting a memory-violating workload.
+func (k *Kernel) InjectFault(app int, reason string) {
+	if app < 0 || app >= len(k.Apps) || !k.Apps[app].Alive {
+		return
+	}
+	k.recordFault(app, reason)
+}
+
+// Totals sums the per-app accounting — the aggregation hook for multi-device
+// runners that fold many kernels into one report.
+func (k *Kernel) Totals() (dispatches, syscalls, cycles uint64) {
+	for _, a := range k.Apps {
+		dispatches += a.Dispatches
+		syscalls += a.Syscalls
+		cycles += a.Cycles
+	}
+	return dispatches, syscalls, cycles
 }
 
 // InjectButton delivers a button event to every app subscribed to buttons.
@@ -225,9 +301,15 @@ func (k *Kernel) osPlan() {
 
 // Step processes the next queued event; it reports false when the queue is
 // empty. Event delivery runs real code on the simulated CPU.
-func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(Event)
+func (k *Kernel) Step() bool { return k.stepUntil(^uint64(0)) }
+
+// stepUntil delivers the next event due at or before deadline, skipping
+// (and consuming) events addressed to dead apps. It reports false when no
+// deliverable event remains within the deadline, leaving later events
+// queued — RunUntil must never run the machine past its deadline.
+func (k *Kernel) stepUntil(deadline uint64) bool {
+	for k.queue.Len() > 0 && k.queue[0].Due <= deadline {
+		e := k.queue.pop()
 		if e.Due > k.NowMS {
 			k.NowMS = e.Due
 		}
@@ -238,10 +320,19 @@ func (k *Kernel) Step() bool {
 				app.restartAt = 0
 				k.deliver(e.App, abi.EvInit, 0)
 			}
+			// A periodic schedule must survive the backoff window: re-arm
+			// unless the app is dead for good (no pending restart), else the
+			// schedule silently stops after the app's first fault.
+			if e.Period > 0 && (app.Alive || app.restartAt != 0) {
+				e.Due = k.NowMS + e.Period
+				k.post(e)
+			}
 			continue
 		}
 		k.deliver(e.App, e.Code, e.Arg)
-		if e.Period > 0 && k.Apps[e.App].Alive {
+		// Same re-arm rule as the dead-app branch above: a pending restart
+		// keeps the schedule, even when this very delivery faulted.
+		if e.Period > 0 && (app.Alive || app.restartAt != 0) {
 			e.Due = k.NowMS + e.Period
 			k.post(e)
 		}
@@ -254,10 +345,7 @@ func (k *Kernel) Step() bool {
 // the queue drains. It returns the number of events delivered.
 func (k *Kernel) RunUntil(deadlineMS uint64) int {
 	n := 0
-	for k.queue.Len() > 0 && k.queue[0].Due <= deadlineMS {
-		if !k.Step() {
-			break
-		}
+	for k.stepUntil(deadlineMS) {
 		n++
 	}
 	if k.NowMS < deadlineMS {
