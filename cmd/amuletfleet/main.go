@@ -148,6 +148,14 @@ func printHuman(r *fleet.Report, elapsed time.Duration) {
 		r.BatterySummary.P50, r.BatterySummary.P99, r.BatterySummary.Max)
 	if r.TotalFaults > 0 {
 		fmt.Printf("  faults=%d across %d devices\n", r.TotalFaults, r.DevicesFaulted)
+		classes := make([]string, 0, len(r.FaultClasses))
+		for class := range r.FaultClasses {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Printf("    layer %-9s %4d×\n", class, r.FaultClasses[class])
+		}
 		reasons := make([]string, 0, len(r.FaultReasons))
 		for reason := range r.FaultReasons {
 			reasons = append(reasons, reason)

@@ -1,0 +1,55 @@
+package amuletiso
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun builds and executes every program under
+// examples/. The examples are package main and otherwise invisible to the
+// test suite — this is the only thing keeping them compiling and running as
+// the library underneath them evolves.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go tool; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, name := range dirs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+filepath.Join("examples", name))
+			// On timeout the context kills only the `go run` wrapper; the
+			// example binary inherits the output pipes and would block
+			// CombinedOutput forever without a bounded wait.
+			cmd.WaitDelay = 10 * time.Second
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

@@ -22,7 +22,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"amuletiso/internal/aft"
 	"amuletiso/internal/apps"
@@ -139,48 +138,16 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 
 	results := make([]DeviceResult, sc.Devices)
-	idx := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
+	err = ForEach(ctx, sc.Devices, r.workerCount(), func(i int) error {
+		res, err := simulate(ctx, &sc, fw, sc.FirstDevice+i)
+		if err != nil {
+			return err
 		}
-		errMu.Unlock()
-	}
-	for w := 0; w < r.workerCount(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res, err := simulate(ctx, &sc, fw, sc.FirstDevice+i)
-				if err != nil {
-					fail(err)
-					return
-				}
-				results[i] = res // workers own disjoint slots
-			}
-		}()
-	}
-feed:
-	for i := 0; i < sc.Devices; i++ {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+		results[i] = res // workers own disjoint slots
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 
 	rep := &Report{
@@ -281,6 +248,7 @@ func simulate(ctx context.Context, sc *Scenario, fw *aft.Firmware, device int) (
 	}
 	for _, f := range k.Faults {
 		res.FaultReasons = append(res.FaultReasons, f.Reason)
+		res.FaultClasses = append(res.FaultClasses, f.Class.String())
 	}
 	return res, nil
 }

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) over a bounded pool of worker
+// goroutines — the fan-out primitive behind fleet simulation and the torture
+// campaigns in internal/torture. workers <= 0 means GOMAXPROCS.
+//
+// Feeding stops at the first fn error or context cancellation; in-flight
+// calls finish. ForEach returns ctx's error if the context was cancelled,
+// otherwise the first error fn returned. Callers that write fn results into
+// a pre-sized slice at index i get deterministic output regardless of worker
+// count or scheduling — the property both subsystems' reports rely on.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := make(chan struct{})
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(failed)
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		case <-failed:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

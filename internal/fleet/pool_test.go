@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexAtAnyParallelism(t *testing.T) {
+	for _, workers := range []int{1, 3, 16, 0} {
+		const n = 200
+		hits := make([]int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachStopsFeedingOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(context.Background(), 10_000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 10_000 {
+		t.Fatalf("error did not stop the feed (%d calls ran)", n)
+	}
+}
+
+func TestForEachHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEach(ctx, 10_000, 2, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Fatal("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,9 @@ type DeviceResult struct {
 	AppsAlive  int    `json:"appsAlive"`
 
 	FaultReasons []string `json:"faultReasons,omitempty"`
+	// FaultClasses mirrors FaultReasons with the kernel's per-layer
+	// attribution (check/gate/mpu/watchdog/injected/...).
+	FaultClasses []string `json:"faultClasses,omitempty"`
 
 	// WeeklyBatteryPct projects this device's active-cycle load, extrapolated
 	// to a week of wear, onto the battery model's weekly energy budget.
@@ -94,6 +97,8 @@ type Report struct {
 	// FaultReasons histograms fault records across the fleet. JSON encoding
 	// sorts map keys, keeping serialized reports deterministic.
 	FaultReasons map[string]int `json:"faultReasons,omitempty"`
+	// FaultClasses histograms the kernel's fault-layer attribution.
+	FaultClasses map[string]int `json:"faultClasses,omitempty"`
 
 	CycleSummary   Summary `json:"cycleSummary"`
 	BatterySummary Summary `json:"batterySummary"`
@@ -111,6 +116,7 @@ func (r *Report) finalize() {
 	r.TotalEvents, r.TotalDispatches, r.TotalSyscalls = 0, 0, 0
 	r.TotalCycles, r.TotalFaults, r.DevicesFaulted = 0, 0, 0
 	r.FaultReasons = nil
+	r.FaultClasses = nil
 	cycles := make([]float64, 0, len(r.PerDevice))
 	battery := make([]float64, 0, len(r.PerDevice))
 	for _, d := range r.PerDevice {
@@ -127,6 +133,12 @@ func (r *Report) finalize() {
 				r.FaultReasons = make(map[string]int)
 			}
 			r.FaultReasons[reason]++
+		}
+		for _, class := range d.FaultClasses {
+			if r.FaultClasses == nil {
+				r.FaultClasses = make(map[string]int)
+			}
+			r.FaultClasses[class]++
 		}
 		cycles = append(cycles, float64(d.Cycles))
 		battery = append(battery, d.WeeklyBatteryPct)

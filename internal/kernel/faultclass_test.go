@@ -1,0 +1,105 @@
+package kernel
+
+import (
+	"testing"
+
+	"amuletiso/internal/aft"
+	"amuletiso/internal/cc"
+)
+
+// buildOne builds a single-app firmware for fault-classification tests.
+func buildOne(t *testing.T, src string, mode cc.Mode) *Kernel {
+	t.Helper()
+	fw, err := aft.Build([]aft.AppSource{{Name: "victim", Source: src}}, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(fw)
+	k.Policy = RestartPolicy{} // first fault is final
+	return k
+}
+
+// TestFaultClassAttribution drives one handler into each fault class and
+// checks the kernel attributes it to the right isolation layer — the
+// contract internal/torture's hosted campaigns assert at scale.
+func TestFaultClassAttribution(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		mode  cc.Mode
+		class FaultClass
+	}{
+		{
+			// Store below the app's data segment: the compiler's
+			// lower-bound compare jumps to the app fault stub.
+			name: "compiler check",
+			src: `
+void handle_event(int ev, int arg) {
+    char *p = 0;
+    p = p + 0x1C00;
+    *p = 1;
+}`,
+			mode:  cc.ModeMPU,
+			class: FaultCheck,
+		},
+		{
+			// Store above the app's data segment: the lower-bound compare
+			// passes and the MPU's segment 3 traps in hardware.
+			name: "mpu segment",
+			src: `
+void handle_event(int ev, int arg) {
+    char *p = 0;
+    p = p + 0xF000;
+    *p = 1;
+}`,
+			mode:  cc.ModeMPU,
+			class: FaultMPU,
+		},
+		{
+			// Forged pointer argument: the gate's validation stub fires.
+			name: "gate validation",
+			src: `
+void handle_event(int ev, int arg) {
+    char *p = 0;
+    p = p + 0x2000;
+    amulet_log_write(p, 2);
+}`,
+			mode:  cc.ModeMPU,
+			class: FaultGate,
+		},
+		{
+			// Handler never yields: the watchdog budget kills it.
+			name: "watchdog",
+			src: `
+int n;
+void handle_event(int ev, int arg) {
+    while (1) { n++; }
+}`,
+			mode:  cc.ModeSoftwareOnly,
+			class: FaultWatchdog,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := buildOne(t, tc.src, tc.mode)
+			k.WatchdogBudget = 500_000
+			k.Step() // EvInit
+			if len(k.Faults) != 1 {
+				t.Fatalf("recorded %d faults, want 1", len(k.Faults))
+			}
+			if got := k.Faults[0].Class; got != tc.class {
+				t.Fatalf("fault class = %v (%s), want %v", got, k.Faults[0].Reason, tc.class)
+			}
+		})
+	}
+}
+
+// TestInjectedFaultClass pins the synthetic-fault attribution fleets use.
+func TestInjectedFaultClass(t *testing.T) {
+	k := buildOne(t, `void handle_event(int ev, int arg) {}`, cc.ModeNoIsolation)
+	k.Step()
+	k.InjectFault(0, "test: synthetic")
+	if len(k.Faults) != 1 || k.Faults[0].Class != FaultInjected {
+		t.Fatalf("faults = %+v, want one FaultInjected", k.Faults)
+	}
+}

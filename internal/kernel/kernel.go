@@ -95,11 +95,46 @@ func (q *eventQueue) pop() Event {
 	return top
 }
 
+// FaultClass attributes a fault to the isolation layer that raised it —
+// the attribution adversarial harnesses (internal/torture) assert against.
+type FaultClass int
+
+// Fault classes.
+const (
+	FaultOther    FaultClass = iota // unclassified (unexpected stop reasons)
+	FaultCheck                      // compiler-inserted check hit the app's fault stub
+	FaultGate                       // OS gate rejected a pointer argument
+	FaultMPU                        // hardware MPU segment violation
+	FaultCPU                        // decode/execution fault (no protection involved)
+	FaultWatchdog                   // event handler exceeded its cycle budget
+	FaultInjected                   // synthetic fault from InjectFault
+)
+
+// String names the fault class.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultCheck:
+		return "check"
+	case FaultGate:
+		return "gate"
+	case FaultMPU:
+		return "mpu"
+	case FaultCPU:
+		return "cpu"
+	case FaultWatchdog:
+		return "watchdog"
+	case FaultInjected:
+		return "injected"
+	}
+	return "other"
+}
+
 // FaultRecord logs one isolation fault.
 type FaultRecord struct {
 	App    int
 	AtMS   uint64
 	Reason string
+	Class  FaultClass
 }
 
 // RestartPolicy governs what happens to faulting apps.
@@ -150,12 +185,18 @@ type Kernel struct {
 	Display *Display
 	Sensors *Sensors
 
+	// WatchdogBudget bounds the simulated cycles one event delivery may
+	// consume before the kernel kills the handler. NewSeeded sets the
+	// default; harnesses that hunt runaway handlers lower it.
+	WatchdogBudget uint64
+
 	queue      eventQueue
 	seq        uint64
 	rng        uint32
 	curApp     int
 	yielded    bool
 	faultMsg   string
+	faultPort  uint16
 	timerSeq   uint16
 	OSCycles   uint64 // modeled scheduler cycles
 	dispatchC0 uint64 // cycle count at dispatch start (for in-event time)
@@ -172,6 +213,7 @@ func (p *kernelPorts) WriteWord(addr uint16, v uint16) {
 	switch addr {
 	case abi.PortFault:
 		p.k.faultMsg = fmt.Sprintf("isolation check fault (port value 0x%04X)", v)
+		p.k.faultPort = v
 		p.k.CPU.Halted = true
 	case abi.PortYield:
 		p.k.yielded = true
@@ -207,14 +249,15 @@ func NewSeeded(fw *aft.Firmware, seed uint32) *Kernel {
 		stream = seed
 	}
 	k := &Kernel{
-		FW:      fw,
-		CPU:     c,
-		Bus:     bus,
-		MPU:     u,
-		Policy:  RestartPolicy{MaxFaults: 3, BackoffMS: 1000},
-		Display: NewDisplay(),
-		Sensors: NewSensors(stream),
-		rng:     rng,
+		FW:             fw,
+		CPU:            c,
+		Bus:            bus,
+		MPU:            u,
+		Policy:         RestartPolicy{MaxFaults: 3, BackoffMS: 1000},
+		WatchdogBudget: 50_000_000,
+		Display:        NewDisplay(),
+		Sensors:        NewSensors(stream),
+		rng:            rng,
 	}
 	bus.Map(abi.PortFault, abi.PortSvcExtra+1, &kernelPorts{k})
 	fw.Image.LoadInto(bus)
@@ -253,7 +296,7 @@ func (k *Kernel) InjectFault(app int, reason string) {
 	if app < 0 || app >= len(k.Apps) || !k.Apps[app].Alive {
 		return
 	}
-	k.recordFault(app, reason)
+	k.recordFault(app, reason, FaultInjected)
 }
 
 // Totals sums the per-app accounting — the aggregation hook for multi-device
@@ -361,6 +404,7 @@ func (k *Kernel) deliver(appIdx int, code, arg uint16) {
 	k.curApp = appIdx
 	k.yielded = false
 	k.faultMsg = ""
+	k.faultPort = 0
 
 	// Scheduler model cost (same in every mode).
 	k.CPU.Cycles += DispatchModelCycles
@@ -389,25 +433,39 @@ func (k *Kernel) deliver(appIdx int, code, arg uint16) {
 	k.dispatchC0 = start
 	app.Dispatches++
 
-	const watchdogBudget = 50_000_000
-	reason, fault := k.CPU.Run(watchdogBudget)
+	faultsBefore := len(k.Faults)
+	reason, fault := k.CPU.Run(k.WatchdogBudget)
 	app.Cycles += k.CPU.Cycles - start
 
 	switch {
+	case len(k.Faults) > faultsBefore:
+		// A Go-side service already recorded this delivery's fault (e.g.
+		// an unknown syscall) and halted the CPU; recording the stop again
+		// would double-count it against the restart policy.
 	case reason == cpu.StopCPUOff && k.yielded:
 		// normal completion
 	case reason == cpu.StopHalt && k.faultMsg != "":
-		k.recordFault(appIdx, k.faultMsg)
+		// The fault port's value attributes the check: an app's own fault
+		// stub writes the app ID (a compiler-inserted check fired); the
+		// shared gate-failure stub writes FaultCurrentApp.
+		class := FaultCheck
+		if k.faultPort == abi.FaultCurrentApp {
+			class = FaultGate
+		}
+		k.recordFault(appIdx, k.faultMsg, class)
 	case reason == cpu.StopFault:
-		msg := "cpu fault"
+		msg, class := "cpu fault", FaultCPU
 		if fault != nil {
 			msg = fault.Error()
+			if fault.Violation != nil {
+				class = FaultMPU
+			}
 		}
-		k.recordFault(appIdx, msg)
+		k.recordFault(appIdx, msg, class)
 	case reason == cpu.StopBudget:
-		k.recordFault(appIdx, "watchdog: event handler exceeded cycle budget")
+		k.recordFault(appIdx, "watchdog: event handler exceeded cycle budget", FaultWatchdog)
 	default:
-		k.recordFault(appIdx, fmt.Sprintf("unexpected stop (%v)", reason))
+		k.recordFault(appIdx, fmt.Sprintf("unexpected stop (%v)", reason), FaultOther)
 	}
 	// Clear latched MPU flags and restore the OS plan for the next event.
 	k.MPU.WriteWord(mpu.RegCTL1, 0)
@@ -415,11 +473,11 @@ func (k *Kernel) deliver(appIdx int, code, arg uint16) {
 }
 
 // recordFault applies the restart policy to a faulting app.
-func (k *Kernel) recordFault(appIdx int, reason string) {
+func (k *Kernel) recordFault(appIdx int, reason string, class FaultClass) {
 	app := k.Apps[appIdx]
 	app.Faults++
 	app.Alive = false
-	k.Faults = append(k.Faults, FaultRecord{App: appIdx, AtMS: k.NowMS, Reason: reason})
+	k.Faults = append(k.Faults, FaultRecord{App: appIdx, AtMS: k.NowMS, Reason: reason, Class: class})
 	if k.Policy.MaxFaults > 0 && app.Faults <= k.Policy.MaxFaults {
 		app.restartAt = k.NowMS + k.Policy.BackoffMS
 		// A queued wake-up guarantees the restart triggers even if no other

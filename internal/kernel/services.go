@@ -137,7 +137,7 @@ func (k *Kernel) service(id uint16) {
 		ret(0)
 
 	default:
-		k.recordFault(k.curApp, "unknown syscall")
+		k.recordFault(k.curApp, "unknown syscall", FaultOther)
 		k.CPU.Halted = true
 	}
 }

@@ -1,0 +1,47 @@
+package kernel
+
+import (
+	"testing"
+
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+)
+
+// TestUnknownSyscallRecordsOneFault pins the seam between Go-side service
+// faults and the dispatch loop: an unrecognized syscall id must cost the
+// app exactly one fault, not two.
+func TestUnknownSyscallRecordsOneFault(t *testing.T) {
+	k := buildOne(t, `void handle_event(int ev, int arg) {}`, 0)
+	// Deliver the init event normally first.
+	k.Step()
+	if len(k.Faults) != 0 {
+		t.Fatalf("benign handler faulted: %+v", k.Faults)
+	}
+	// Re-enter the dispatch path with a handler image patched to write a
+	// bogus syscall id straight to the syscall port.
+	k.Apps[0].Alive = true
+	k.post(Event{Due: k.NowMS, App: 0, Code: 0})
+	pc := k.Apps[0].Info.Handler
+	// MOV #0x7FFF, &PortSyscall ; JMP $ (the halt from the service ends it)
+	img := []isa.Instr{
+		{Op: isa.MOV, Src: isa.Imm(0x7FFF), Dst: isa.Abs(cpu.PortSyscall)},
+	}
+	addr := pc
+	for _, in := range img {
+		words, _ := isa.Encode(in)
+		for _, w := range words {
+			k.Bus.Poke16(addr, w)
+			addr += 2
+		}
+	}
+	k.Step()
+	if len(k.Faults) != 1 {
+		t.Fatalf("unknown syscall recorded %d faults, want exactly 1: %+v", len(k.Faults), k.Faults)
+	}
+	if k.Faults[0].Reason != "unknown syscall" {
+		t.Fatalf("reason = %q", k.Faults[0].Reason)
+	}
+	if k.Apps[0].Faults != 1 {
+		t.Fatalf("app fault count = %d, want 1", k.Apps[0].Faults)
+	}
+}

@@ -1,0 +1,134 @@
+package mpu
+
+import (
+	"testing"
+
+	"amuletiso/internal/mem"
+)
+
+// Table-driven edge cases for the "arcane protection boundary rules" the
+// paper's §2 complains about: 1 KiB boundary snapping at the extremes,
+// password-violation latching, and register writes under MPULOCK.
+
+func TestBoundarySnappingTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		write uint16
+		want  uint16
+	}{
+		{"zero", 0x0000, 0x0000},
+		{"one-under-grain", 1023, 0x0000},
+		{"exactly-one-grain", 1024, 0x0400},
+		{"one-over-grain", 1025, 0x0400},
+		{"fram-base", mem.FRAMLo, mem.FRAMLo}, // 0x4400 is grain-aligned
+		{"fram-base-plus-one", mem.FRAMLo + 1, mem.FRAMLo},
+		{"mid-fram-unaligned", 0x8123, 0x8000},
+		{"last-grain-below-top", 0xFC00, 0xFC00},
+		{"top-of-fram", mem.FRAMHi, 0xFC00}, // 0xFF7F snaps down a full grain
+		{"address-max", 0xFFFF, 0xFC00},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := New()
+			u.WriteWord(RegSEGB1, tc.write)
+			u.WriteWord(RegSEGB2, tc.write)
+			b1, b2 := u.Boundaries()
+			if b1 != tc.want || b2 != tc.want {
+				t.Fatalf("write 0x%04X: boundaries = 0x%04X/0x%04X, want 0x%04X",
+					tc.write, b1, b2, tc.want)
+			}
+		})
+	}
+}
+
+func TestPasswordViolationLatchingTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		write uint16
+	}{
+		{"no-password", CtlEnable},
+		{"wrong-password", 0x5A00 | CtlEnable},
+		{"inverted-password", ^Password | CtlEnable},
+		{"password-in-low-byte", Password>>8 | CtlEnable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := New()
+			u.WriteWord(RegCTL0, tc.write)
+			if u.Enabled() {
+				t.Fatal("control write without the password took effect")
+			}
+			if u.Flags()&FlagPW == 0 {
+				t.Fatal("password violation flag did not latch")
+			}
+			if u.Violations() != 1 {
+				t.Fatalf("violations = %d, want 1", u.Violations())
+			}
+			// The latch survives further traffic and clears only via the
+			// write-0-to-clear protocol.
+			u.WriteWord(RegCTL0, Password|CtlEnable)
+			if u.Flags()&FlagPW == 0 {
+				t.Fatal("flag cleared by an unrelated valid write")
+			}
+			u.WriteWord(RegCTL1, ^FlagPW)
+			if u.Flags()&FlagPW != 0 {
+				t.Fatal("write-0-to-clear did not clear the flag")
+			}
+		})
+	}
+}
+
+func TestWritesWhileLockedTable(t *testing.T) {
+	setup := func() *Unit {
+		u := New()
+		u.WriteWord(RegSEGB1, 0x8000)
+		u.WriteWord(RegSEGB2, 0xA000)
+		u.WriteWord(RegSAM, 0x0123)
+		u.WriteWord(RegCTL0, Password|CtlEnable|CtlLock)
+		return u
+	}
+	cases := []struct {
+		name string
+		reg  uint16
+		val  uint16
+		read func(u *Unit) uint16
+		want uint16
+	}{
+		{"segb1-frozen", RegSEGB1, 0x4400, func(u *Unit) uint16 { b1, _ := u.Boundaries(); return b1 }, 0x8000},
+		{"segb2-frozen", RegSEGB2, 0xFC00, func(u *Unit) uint16 { _, b2 := u.Boundaries(); return b2 }, 0xA000},
+		{"sam-frozen", RegSAM, 0x0777, func(u *Unit) uint16 { return u.ReadWord(RegSAM) }, 0x0123},
+		{"ctl1-frozen", RegCTL1, 0x0000, func(u *Unit) uint16 { return u.ReadWord(RegCTL1) &^ FlagPW }, 0x0000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := setup()
+			before := u.Violations()
+			u.WriteWord(tc.reg, tc.val)
+			if got := tc.read(u); got != tc.want {
+				t.Fatalf("locked register 0x%04X changed to 0x%04X (want 0x%04X)", tc.reg, got, tc.want)
+			}
+			if u.Flags()&FlagPW == 0 || u.Violations() != before+1 {
+				t.Fatalf("locked write did not latch a violation (flags=0x%04X)", u.Flags())
+			}
+			// Protection keeps enforcing with the pre-lock configuration.
+			if v := u.CheckAccess(mem.Access{Addr: 0xB000, Kind: mem.Write}); v == nil {
+				t.Fatal("seg3 write allowed after locked reconfiguration attempt")
+			}
+		})
+	}
+}
+
+// TestTopOfFRAMCoverageEdge pins the coverage seam at the top of main FRAM:
+// the last FRAM byte is policed, the vector table one byte higher is not —
+// the hole internal/torture's probe cases demonstrate end to end.
+func TestTopOfFRAMCoverageEdge(t *testing.T) {
+	u := New()
+	u.Configure(0x8000, 0xA000,
+		RWX(1, false, false, true)|RWX(2, true, true, false), true)
+	if v := u.CheckAccess(mem.Access{Addr: mem.FRAMHi, Kind: mem.Write}); v == nil {
+		t.Fatal("write to the last FRAM byte (seg3) passed")
+	}
+	if v := u.CheckAccess(mem.Access{Addr: mem.VectLo, Kind: mem.Write}); v != nil {
+		t.Fatalf("vector-table write blocked: %v — the modeled part cannot cover it", v)
+	}
+}

@@ -1,0 +1,253 @@
+package torture
+
+import (
+	"fmt"
+
+	"amuletiso/internal/mem"
+	"amuletiso/internal/mpu"
+)
+
+// Layer names which part of the isolation machinery caught (or failed to
+// catch) an adversarial access — the attribution the paper's design implies:
+// compiler-inserted checks police everything below the app, the MPU polices
+// everything above it, gates police pointers crossing the OS boundary, and
+// the kernel watchdog polices runaway handlers.
+type Layer string
+
+// Layers, in the order the machinery gets a chance at an access.
+const (
+	LayerCompiler Layer = "compiler-check" // injected bound compare / bounds helper
+	LayerMPU      Layer = "mpu-segment"    // hardware segment violation
+	LayerGate     Layer = "kernel-gate"    // gate pointer-argument validation
+	LayerWatchdog Layer = "watchdog"       // kernel cycle-budget kill
+	LayerCPU      Layer = "cpu"            // decode/execute fault (no protection credit)
+	LayerNone     Layer = "none"           // access went through unchecked
+	// LayerVacuous marks a mode where the attack's effective address landed
+	// inside the app's own region — not a violation, so nothing to assert.
+	LayerVacuous Layer = "vacuous"
+)
+
+// attackKind enumerates the adversarial access shapes.
+type attackKind string
+
+// Attack kinds.
+const (
+	atkStore    attackKind = "store"     // forged char* store to an absolute address
+	atkLoad     attackKind = "load"      // forged char* load from an absolute address
+	atkOOBIndex attackKind = "oob-index" // unmasked array index far out of range
+	atkNullCall attackKind = "null-call" // indirect call through a zeroed function pointer
+	atkGatePtr  attackKind = "gate-ptr"  // hosted: forged pointer passed to an OS API gate
+	atkSpin     attackKind = "spin"      // hosted: handler never yields
+)
+
+// attack describes one injected violation.
+type attack struct {
+	Kind   attackKind `json:"kind"`
+	Addr   uint16     `json:"addr,omitempty"`   // store/load/gate-ptr target
+	Index  int32      `json:"index,omitempty"`  // oob-index value
+	Array  string     `json:"array,omitempty"`  // oob-index attacked array
+	ArrLen int        `json:"arrLen,omitempty"` // oob-index attacked array length
+	Write  bool       `json:"write,omitempty"`  // oob-index: store (vs load)
+	Region string     `json:"region,omitempty"` // human label of the target region
+	Probe  bool       `json:"probe,omitempty"`  // expected to ESCAPE (models a hardware hole)
+}
+
+// region is an address range adversarial targets are drawn from.
+type region struct {
+	lo, hi uint16
+	name   string
+}
+
+// Target regions. Every one lies outside any generated program's data
+// segment in every mode, so a hit is a genuine isolation violation. The
+// CPU debug-port window (mem.DebugLo..DebugHi) is deliberately excluded:
+// an escaped store there would halt the simulation rather than corrupt it.
+var targetRegions = []region{
+	{0x0200, 0x0FFE, "peripheral"},
+	{mpu.RegCTL0, mpu.RegSAM, "mpu-regs"},
+	{mem.InfoLo, mem.InfoHi, "infomem"},
+	{mem.SRAMLo, mem.SRAMHi, "sram"},
+	{mem.FRAMLo, mem.FRAMLo + 0x03FE, "os-code"},
+	{0xF000, mem.FRAMHi - 1, "high-fram"},
+}
+
+// vectorRegion is the interrupt vector table: above main FRAM, so outside
+// MPU coverage — the paper's complaint made concrete. Stores there escape
+// the hybrid model (lower-bound check passes, MPU cannot see it) and are
+// generated only as explicit "probe" cases that assert the documented hole.
+var vectorRegion = region{mem.VectLo, 0xFFFE, "vectors"}
+
+// generateAdversarial builds a program with one injected violation. A
+// restricted-dialect program can only express the out-of-bounds array index
+// (the attack original Amulet C's helper checks were built for); the full
+// dialect adds forged pointers and indirect calls.
+func generateAdversarial(seed uint64, restricted, hosted bool) *program {
+	g := &caseGen{
+		r:          newRNG(seed),
+		restricted: restricted,
+		hosted:     hosted,
+		prog:       &program{seed: seed, restricted: restricted, hosted: hosted},
+	}
+	g.genGlobals()
+	g.genHelpers()
+
+	atk := &attack{}
+	switch {
+	case restricted:
+		atk.Kind = atkOOBIndex
+	case hosted:
+		atk.Kind = pick(g.r, []attackKind{atkStore, atkStore, atkLoad, atkOOBIndex, atkGatePtr, atkGatePtr, atkSpin})
+	default:
+		atk.Kind = pick(g.r, []attackKind{atkStore, atkStore, atkStore, atkLoad, atkLoad, atkOOBIndex, atkOOBIndex, atkNullCall})
+	}
+
+	switch atk.Kind {
+	case atkStore, atkLoad:
+		reg := pick(g.r, targetRegions)
+		if atk.Kind == atkStore && !hosted && g.r.chance(1, 8) {
+			reg = vectorRegion
+			atk.Probe = true // SoftwareOnly traps it; the MPU hybrid cannot
+		}
+		atk.Region = reg.name
+		atk.Addr = reg.lo + uint16(g.r.intn(int(reg.hi-reg.lo)+1))
+	case atkOOBIndex:
+		// Pick a wild 16-bit index; the oracle classifies the effective
+		// address per mode once the layout is known.
+		atk.Index = int32(g.r.rangeInt(2048, 30000))
+		if g.r.chance(1, 2) {
+			atk.Index = -atk.Index
+		}
+		atk.Write = g.r.chance(2, 3)
+		atk.Region = "computed"
+	case atkGatePtr:
+		// Below the app: OS data or SRAM — the lower-bound check every
+		// validated gate performs catches both.
+		reg := pick(g.r, []region{{mem.SRAMLo, mem.SRAMHi, "sram"},
+			{mem.FRAMLo, mem.FRAMLo + 0x07FE, "os"}})
+		atk.Region = reg.name
+		atk.Addr = reg.lo + uint16(g.r.intn(int(reg.hi-reg.lo)+1))
+	}
+
+	atk.prepare(g)
+	g.genEntry(atk)
+	g.prog.attack = atk
+	return g.prog
+}
+
+// prepare registers the globals an attack needs before the entry point is
+// generated.
+func (a *attack) prepare(g *caseGen) {
+	switch a.Kind {
+	case atkOOBIndex:
+		length := pick(g.r, []int{4, 8})
+		gv := &globalVar{name: "atkarr", typ: "int", arr: length}
+		g.prog.globals = append(g.prog.globals, gv)
+		a.Array = gv.name
+		a.ArrLen = length
+	case atkNullCall:
+		// Never assigned: a zero word in the data segment.
+		g.prog.rawGlobals = append(g.prog.rawGlobals, "int (*atkf)(int);")
+	}
+}
+
+// emit renders the attack as trailing statements of the entry function.
+func (a *attack) emit(g *caseGen, fn *function, s *genScope) []stmt {
+	sink := varRef(g.prog.globals[0].name) // g0, always an int scalar
+	switch a.Kind {
+	case atkStore:
+		fn.locals = append(fn.locals, localVar{name: "atkp", typ: "char *", init: lit(0)})
+		return []stmt{
+			&assign{varRef("atkp"), "=", &binary{"+", varRef("atkp"), lit(int32(a.Addr))}},
+			&assign{&deref{"atkp"}, "=", lit(int32(g.r.rangeInt(1, 127)))},
+		}
+	case atkLoad:
+		fn.locals = append(fn.locals, localVar{name: "atkp", typ: "char *", init: lit(0)})
+		return []stmt{
+			&assign{varRef("atkp"), "=", &binary{"+", varRef("atkp"), lit(int32(a.Addr))}},
+			&assign{sink, "+=", &deref{"atkp"}},
+		}
+	case atkOOBIndex:
+		fn.locals = append(fn.locals, localVar{name: "atki", typ: "int", init: lit(a.Index)})
+		if a.Write {
+			return []stmt{&assign{&rawIndex{a.Array, varRef("atki")}, "=", lit(7)}}
+		}
+		return []stmt{&assign{sink, "+=", &rawIndex{a.Array, varRef("atki")}}}
+	case atkNullCall:
+		return []stmt{&exprStmt{&call{"atkf", []expr{lit(1)}}}}
+	case atkGatePtr:
+		fn.locals = append(fn.locals, localVar{name: "atkp", typ: "char *", init: lit(0)})
+		return []stmt{
+			&assign{varRef("atkp"), "=", &binary{"+", varRef("atkp"), lit(int32(a.Addr))}},
+			&exprStmt{&call{"amulet_log_write", []expr{varRef("atkp"), lit(2)}}},
+		}
+	case atkSpin:
+		return []stmt{&rawStmt{"while (1) {\n    " + string(sink) + "++;\n}"}}
+	}
+	return nil
+}
+
+// appLayout is the per-mode compiled geometry the oracle classifies against.
+type appLayout struct {
+	dataLo, dataHi uint16 // [dataLo, dataHi): the app's data/stack segment
+	osCodeLo       uint16 // lower bound legal for executable targets
+}
+
+// effectiveAddr computes the 16-bit address an attack actually touches under
+// a given layout, replicating the CPU's wrapping address arithmetic.
+func (a *attack) effectiveAddr(lay appLayout, arrAddr uint16) uint16 {
+	switch a.Kind {
+	case atkStore, atkLoad, atkGatePtr:
+		return a.Addr
+	case atkOOBIndex:
+		return arrAddr + 2*uint16(a.Index) // int arrays scale by 2, mod 2^16
+	}
+	return 0
+}
+
+// predict is the oracle: which layer must catch this attack under the given
+// isolation mode and layout? It mirrors the instrumentation rules exactly —
+// SoftwareOnly compares both bounds in software; the MPU hybrid compares the
+// lower bound in software and relies on segment hardware above the app
+// (which covers main FRAM only); Feature-Limited routes array indices
+// through the runtime helper.
+func (a *attack) predict(mode string, lay appLayout, arrAddr uint16) Layer {
+	switch a.Kind {
+	case atkNullCall:
+		// Target 0 is below every code bound; both checked modes compare.
+		return LayerCompiler
+	case atkSpin:
+		return LayerWatchdog
+	case atkGatePtr:
+		// Generated gate targets are always below the app; every validated
+		// gate's lower-bound compare traps them in both modes.
+		return LayerGate
+	case atkOOBIndex:
+		if mode == "FeatureLimited" {
+			return LayerCompiler // rt.bounds checks the index itself
+		}
+	}
+	eff := a.effectiveAddr(lay, arrAddr)
+	switch {
+	case eff >= lay.dataLo && eff < lay.dataHi:
+		return LayerVacuous // landed inside the app's own segment
+	case eff < lay.dataLo:
+		return LayerCompiler // the lower-bound compare both modes emit
+	case mode == "SoftwareOnly":
+		return LayerCompiler // upper-bound compare
+	case eff <= mem.FRAMHi:
+		return LayerMPU // segment 3 (or 1) forbids the access
+	default:
+		return LayerNone // above main FRAM: the documented MPU hole
+	}
+}
+
+func (a *attack) String() string {
+	switch a.Kind {
+	case atkOOBIndex:
+		return fmt.Sprintf("%s %s[%d] (%s)", a.Kind, a.Array, a.Index, a.Region)
+	case atkNullCall, atkSpin:
+		return string(a.Kind)
+	default:
+		return fmt.Sprintf("%s 0x%04X (%s)", a.Kind, a.Addr, a.Region)
+	}
+}

@@ -1,0 +1,229 @@
+package torture
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"amuletiso/internal/fleet"
+)
+
+// Config shapes one torture campaign.
+type Config struct {
+	// Kind selects the case family: differential, adversarial or hosted.
+	Kind string
+	// Programs is how many cases to run.
+	Programs int
+	// First offsets the case indices, sharding one campaign across machines
+	// exactly like fleet.Scenario.FirstDevice: per-case seeds depend only on
+	// the global index, so disjoint shards reproduce the union run.
+	First int
+	// Seed is the campaign seed; per-case seeds derive from it.
+	Seed uint64
+	// Workers bounds the fan-out pool (0 = GOMAXPROCS). The report is
+	// byte-identical at any setting.
+	Workers int
+	// RestrictedEvery marks every Nth case restricted-dialect (0 = never).
+	// Hosted campaigns ignore it.
+	RestrictedEvery int
+	// Shrink minimizes failing cases to their smallest reproducer before
+	// reporting them.
+	Shrink bool
+}
+
+// DefaultConfig returns the canonical campaign configuration for a kind.
+func DefaultConfig(kind string) Config {
+	cfg := Config{Kind: kind, Programs: 1000, Seed: 1, Shrink: true}
+	switch kind {
+	case KindDifferential:
+		cfg.RestrictedEvery = 4
+	case KindAdversarial:
+		cfg.RestrictedEvery = 5
+	}
+	return cfg
+}
+
+// Report aggregates a campaign. Every field is a pure function of the
+// Config, so serialized reports are byte-identical across runs, machines
+// and worker counts — campaigns double as regression oracles.
+type Report struct {
+	Kind     string `json:"kind"`
+	Seed     uint64 `json:"seed"`
+	Programs int    `json:"programs"`
+	First    int    `json:"first,omitempty"`
+
+	Passed int `json:"passed"`
+	Failed int `json:"failed"`
+
+	// Differential aggregates: total simulated cycles per mode and the
+	// relative overhead each isolated model paid over the unprotected
+	// baseline — the same quantity as the paper's Figure 3, measured over
+	// generated programs instead of hand-picked benchmarks. BaselineCycles
+	// pairs each isolated mode with the NoIsolation cycles of exactly the
+	// cases that ran it (restricted-dialect cases run more modes than full
+	// ones, so the subsets differ).
+	ModeCycles     map[string]uint64  `json:"modeCycles,omitempty"`
+	BaselineCycles map[string]uint64  `json:"baselineCycles,omitempty"`
+	OverheadPct    map[string]float64 `json:"overheadPct,omitempty"`
+
+	// Adversarial aggregates, over (case, mode) pairs.
+	Injected        int            `json:"injected,omitempty"` // violations expected to trap
+	Trapped         int            `json:"trapped,omitempty"`  // violations actually trapped
+	TrappedByLayer  map[string]int `json:"trappedByLayer,omitempty"`
+	ExpectedEscapes int            `json:"expectedEscapes,omitempty"` // probe cases showing the modeled MPU holes
+	Vacuous         int            `json:"vacuous,omitempty"`         // effective address landed in-region
+
+	Failures []*Outcome `json:"failures,omitempty"`
+}
+
+// Run executes a campaign, fanning the cases out over the fleet worker
+// pool. Each case is generated, executed and (on failure, with Shrink set)
+// minimized independently; results land in per-index slots, so aggregation
+// is order-independent.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Programs <= 0 {
+		return nil, fmt.Errorf("torture: campaign needs a positive program count (got %d)", cfg.Programs)
+	}
+	if cfg.First < 0 {
+		return nil, fmt.Errorf("torture: negative first index %d", cfg.First)
+	}
+	switch cfg.Kind {
+	case KindDifferential, KindAdversarial, KindHosted:
+	default:
+		return nil, fmt.Errorf("torture: unknown campaign kind %q", cfg.Kind)
+	}
+
+	results := make([]*Outcome, cfg.Programs)
+	err := fleet.ForEach(ctx, cfg.Programs, cfg.Workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		gi := cfg.First + i
+		restricted := cfg.Kind != KindHosted &&
+			cfg.RestrictedEvery > 0 && gi%cfg.RestrictedEvery == 0
+		c, p := buildCaseProg(cfg.Kind, caseSeed(cfg.Seed, gi), restricted)
+		out := Execute(c)
+		out.Index = gi
+		if !out.Pass {
+			out.Source = c.Source
+			out.Attack = c.Attack
+			out.Restricted = c.Restricted
+			if cfg.Shrink && p != nil {
+				out.Source = shrinkFailure(p, c, out.Category)
+			}
+		}
+		results[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Kind: cfg.Kind, Seed: cfg.Seed, Programs: cfg.Programs, First: cfg.First}
+	for _, out := range results {
+		rep.fold(out)
+	}
+	for mode, baseTotal := range rep.BaselineCycles {
+		if baseTotal > 0 {
+			rep.OverheadPct[mode] = 100 *
+				(float64(rep.ModeCycles[mode]) - float64(baseTotal)) / float64(baseTotal)
+		}
+	}
+	return rep, nil
+}
+
+// fold accumulates one case outcome.
+func (r *Report) fold(out *Outcome) {
+	if out.Pass {
+		r.Passed++
+	} else {
+		r.Failed++
+		r.Failures = append(r.Failures, out)
+	}
+	// Cycle aggregates only fold in passing cases: a failing case stops at
+	// its first bad mode, and its truncated cycles would skew the overhead
+	// figures exactly when someone is reading them to diagnose the failure.
+	if out.Pass && len(out.ModeCycles) > 0 {
+		if r.ModeCycles == nil {
+			r.ModeCycles = make(map[string]uint64)
+			r.BaselineCycles = make(map[string]uint64)
+			r.OverheadPct = make(map[string]float64)
+		}
+		base := out.ModeCycles["NoIsolation"]
+		for mode, cycles := range out.ModeCycles {
+			r.ModeCycles[mode] += cycles
+			if mode != "NoIsolation" {
+				r.BaselineCycles[mode] += base
+			}
+		}
+	}
+	modes := make([]string, 0, len(out.Expected))
+	for m := range out.Expected {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		expected, observed := out.Expected[m], out.Observed[m]
+		switch expected {
+		case LayerVacuous:
+			r.Vacuous++
+		case LayerNone:
+			if observed == LayerNone {
+				r.ExpectedEscapes++
+			}
+		default:
+			r.Injected++
+			if observed == expected {
+				r.Trapped++
+				if r.TrappedByLayer == nil {
+					r.TrappedByLayer = make(map[string]int)
+				}
+				r.TrappedByLayer[m+"/"+string(observed)]++
+			}
+		}
+	}
+}
+
+// Summary renders the report for humans.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s campaign: %d programs (seed %d): %d passed, %d failed\n",
+		r.Kind, r.Programs, r.Seed, r.Passed, r.Failed)
+	if len(r.ModeCycles) > 0 {
+		modes := sortedKeys(r.ModeCycles)
+		for _, m := range modes {
+			fmt.Fprintf(&sb, "  %-15s %12d cycles", m, r.ModeCycles[m])
+			if pct, ok := r.OverheadPct[m]; ok {
+				fmt.Fprintf(&sb, "  (+%.2f%%)", pct)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if r.Injected > 0 {
+		fmt.Fprintf(&sb, "  injected violations trapped: %d/%d (%.1f%%)\n",
+			r.Trapped, r.Injected, 100*float64(r.Trapped)/float64(r.Injected))
+		for _, k := range sortedKeys(r.TrappedByLayer) {
+			fmt.Fprintf(&sb, "    %6d× %s\n", r.TrappedByLayer[k], k)
+		}
+		if r.ExpectedEscapes > 0 {
+			fmt.Fprintf(&sb, "  documented-hole probes escaping as modeled: %d\n", r.ExpectedEscapes)
+		}
+		if r.Vacuous > 0 {
+			fmt.Fprintf(&sb, "  vacuous (effective address stayed in-region): %d\n", r.Vacuous)
+		}
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&sb, "  FAIL case %d seed %d [%s]: %s\n", f.Index, f.Seed, f.Category, f.Reason)
+	}
+	return sb.String()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,146 @@
+package torture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The regression corpus: shrunk generator outputs committed under
+// testdata/, replayed by a plain `go test` so CI exercises the whole
+// pipeline — generation shapes, differential equivalence and adversarial
+// layer attribution — without running a long campaign.
+
+// CorpusSeed is the seed the committed corpus under testdata/ was built
+// with; `amulettorture -write-corpus` regenerates the same files.
+const CorpusSeed = 7
+
+// WriteCase serializes a case to dir/<name>.json.
+func WriteCase(dir string, c *Case) error {
+	if c.Name == "" {
+		return fmt.Errorf("torture: corpus case needs a name")
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, c.Name+".json"), append(data, '\n'), 0o644)
+}
+
+// LoadCorpus reads every case file under dir, sorted by file name.
+func LoadCorpus(dir string) ([]*Case, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var cases []*Case
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		c := &Case{}
+		if err := json.Unmarshal(data, c); err != nil {
+			return nil, fmt.Errorf("torture: %s: %w", path, err)
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// BuildCorpus deterministically regenerates the committed corpus into dir:
+// a slice of differential programs straight from the generator, plus
+// adversarial and hosted reproducers shrunk to their minimal trapping form
+// (the predicate preserves the full per-mode layer attribution). Returns
+// the written case names.
+func BuildCorpus(dir string, seed uint64) ([]string, error) {
+	var names []string
+	write := func(c *Case) error {
+		names = append(names, c.Name)
+		return WriteCase(dir, c)
+	}
+
+	// Differential: generator-shape regression cases, one per seed index,
+	// every fourth in the restricted dialect.
+	for i := 0; i < 8; i++ {
+		c := BuildCase(KindDifferential, caseSeed(seed, i), i%4 == 0)
+		c.Name = fmt.Sprintf("diff-%02d", i)
+		c.Note = "generator output; replay asserts mode equivalence"
+		if out := Execute(c); !out.Pass {
+			return nil, fmt.Errorf("torture: corpus case %s fails: %s", c.Name, out.Reason)
+		}
+		if err := write(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// Adversarial and hosted: walk the seed stream until every attack kind
+	// has one reproducer, then shrink each to its minimal trapping form.
+	wantAdv := []attackKind{atkStore, atkLoad, atkOOBIndex, atkNullCall}
+	wantHosted := []attackKind{atkStore, atkOOBIndex, atkGatePtr, atkSpin}
+	for _, family := range []struct {
+		kind       string
+		prefix     string
+		wanted     []attackKind
+		restricted func(i int) bool
+	}{
+		{KindAdversarial, "adv", wantAdv, func(i int) bool { return i%5 == 0 }},
+		{KindHosted, "hosted", wantHosted, func(i int) bool { return false }},
+	} {
+		seen := map[attackKind]int{}
+		for i, n := 0, 0; n < len(family.wanted)*2 && i < 400; i++ {
+			c, p := buildCaseProg(family.kind, caseSeed(seed+0xAD, i), family.restricted(i))
+			if c.Attack == nil || seen[c.Attack.Kind] >= 2 {
+				continue
+			}
+			found := false
+			for _, w := range family.wanted {
+				if c.Attack.Kind == w {
+					found = true
+				}
+			}
+			if !found {
+				continue
+			}
+			orig := Execute(c)
+			if !orig.Pass {
+				return nil, fmt.Errorf("torture: corpus seed %d (%s) fails: %s", c.Seed, c.Attack, orig.Reason)
+			}
+			min := shrinkProgram(p, func(cand *program) bool {
+				o := Execute(programCase(cand, c))
+				return o.Pass && layersEqual(o, orig)
+			})
+			mc := programCase(min, c)
+			mc.Name = fmt.Sprintf("%s-%02d-%s", family.prefix, seen[c.Attack.Kind], c.Attack.Kind)
+			mc.Note = fmt.Sprintf("shrunk reproducer: %s; replay asserts layer attribution", c.Attack)
+			if err := write(mc); err != nil {
+				return nil, err
+			}
+			seen[c.Attack.Kind]++
+			n++
+		}
+	}
+	return names, nil
+}
+
+// layersEqual reports whether two outcomes attribute every mode to the same
+// layers.
+func layersEqual(a, b *Outcome) bool {
+	if len(a.Expected) != len(b.Expected) || len(a.Observed) != len(b.Observed) {
+		return false
+	}
+	for m, l := range b.Expected {
+		if a.Expected[m] != l {
+			return false
+		}
+	}
+	for m, l := range b.Observed {
+		if a.Observed[m] != l {
+			return false
+		}
+	}
+	return true
+}

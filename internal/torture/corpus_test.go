@@ -1,0 +1,74 @@
+package torture
+
+import "testing"
+
+// TestCorpusReplay replays every committed case under testdata/ — shrunk
+// generator outputs covering differential equivalence and each adversarial
+// trap layer — so CI exercises the whole harness without a long campaign.
+func TestCorpusReplay(t *testing.T) {
+	cases, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 15 {
+		t.Fatalf("corpus has %d cases; expected the committed set (~20)", len(cases))
+	}
+	kinds := map[string]int{}
+	attacks := map[attackKind]int{}
+	for _, c := range cases {
+		out := Execute(c)
+		if !out.Pass {
+			t.Errorf("corpus case %s [%s]: %s\nexpected=%v observed=%v",
+				c.Name, out.Category, out.Reason, out.Expected, out.Observed)
+		}
+		kinds[c.Kind]++
+		if c.Attack != nil {
+			attacks[c.Attack.Kind]++
+			if len(out.Observed) == 0 {
+				t.Errorf("corpus case %s produced no layer attribution", c.Name)
+			}
+		}
+	}
+	for _, kind := range []string{KindDifferential, KindAdversarial, KindHosted} {
+		if kinds[kind] == 0 {
+			t.Errorf("corpus has no %s cases", kind)
+		}
+	}
+	for _, atk := range []attackKind{atkStore, atkLoad, atkOOBIndex, atkNullCall, atkGatePtr, atkSpin} {
+		if attacks[atk] == 0 {
+			t.Errorf("corpus has no %s reproducer", atk)
+		}
+	}
+}
+
+// TestCorpusMatchesCommitted regenerates the corpus from its seed and
+// compares it against the committed testdata/ files: BuildCorpus must be a
+// pure function of the seed, and the committed set must be its output (run
+// `amulettorture -write-corpus internal/torture/testdata` after intentional
+// generator changes).
+func TestCorpusMatchesCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus regeneration shrinks ~16 reproducers; skipped in -short")
+	}
+	dir := t.TempDir()
+	names, err := BuildCorpus(dir, CorpusSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(names) || len(fresh) != len(committed) {
+		t.Fatalf("regenerated %d cases, committed %d", len(fresh), len(committed))
+	}
+	for i := range fresh {
+		if fresh[i].Name != committed[i].Name || fresh[i].Source != committed[i].Source {
+			t.Errorf("case %s drifted from the committed corpus", fresh[i].Name)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package torture
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The generator works on a small AST of its own rather than raw source text:
+// the shrinker needs to delete statements, simplify expressions and reduce
+// loop bounds structurally, then re-render and re-test. The AST is far
+// smaller than internal/cc's — it only spans the shapes the generator emits.
+
+// expr is a generated expression.
+type expr interface {
+	render(sb *strings.Builder)
+	clone() expr
+}
+
+// lit is an integer literal. Negative values render as (0 - n), matching the
+// language's lack of negative literals.
+type lit int32
+
+func (l lit) render(sb *strings.Builder) {
+	if l < 0 {
+		fmt.Fprintf(sb, "(0 - %d)", -int64(l))
+	} else {
+		fmt.Fprintf(sb, "%d", int64(l))
+	}
+}
+func (l lit) clone() expr { return l }
+
+// varRef names a scalar variable (global, local or parameter).
+type varRef string
+
+func (v varRef) render(sb *strings.Builder) { sb.WriteString(string(v)) }
+func (v varRef) clone() expr                { return v }
+
+// index is arr[(idx) & mask] — the mask keeps every generated access in
+// bounds, so well-formed programs never trip an isolation check. mask must be
+// a power of two minus one and smaller than the array length.
+type index struct {
+	arr  string
+	mask int
+	idx  expr
+}
+
+func (x *index) render(sb *strings.Builder) {
+	sb.WriteString(x.arr)
+	sb.WriteString("[(")
+	x.idx.render(sb)
+	fmt.Fprintf(sb, ") & %d]", x.mask)
+}
+func (x *index) clone() expr { return &index{x.arr, x.mask, x.idx.clone()} }
+
+// rawIndex is arr[idx] with no masking — only the adversarial generator
+// emits it, to drive an access out of the app's memory region.
+type rawIndex struct {
+	arr string
+	idx expr
+}
+
+func (x *rawIndex) render(sb *strings.Builder) {
+	sb.WriteString(x.arr)
+	sb.WriteString("[")
+	x.idx.render(sb)
+	sb.WriteString("]")
+}
+func (x *rawIndex) clone() expr { return &rawIndex{x.arr, x.idx.clone()} }
+
+// deref is *ptr.
+type deref struct{ ptr string }
+
+func (d *deref) render(sb *strings.Builder) { sb.WriteString("*"); sb.WriteString(d.ptr) }
+func (d *deref) clone() expr                { return &deref{d.ptr} }
+
+// binary is (l op r). Division and modulo render the divisor as ((r) | 1),
+// which can never be zero; shift counts are literal and small by
+// construction. Everything is fully parenthesized so rendering never depends
+// on precedence.
+type binary struct {
+	op   string
+	l, r expr
+}
+
+func (b *binary) render(sb *strings.Builder) {
+	sb.WriteString("(")
+	b.l.render(sb)
+	sb.WriteString(" ")
+	sb.WriteString(b.op)
+	sb.WriteString(" ")
+	if b.op == "/" || b.op == "%" {
+		sb.WriteString("((")
+		b.r.render(sb)
+		sb.WriteString(") | 1)")
+	} else {
+		b.r.render(sb)
+	}
+	sb.WriteString(")")
+}
+func (b *binary) clone() expr { return &binary{b.op, b.l.clone(), b.r.clone()} }
+
+// unary is op x for - ! ~.
+type unary struct {
+	op string
+	x  expr
+}
+
+func (u *unary) render(sb *strings.Builder) {
+	sb.WriteString("(")
+	sb.WriteString(u.op)
+	u.x.render(sb)
+	sb.WriteString(")")
+}
+func (u *unary) clone() expr { return &unary{u.op, u.x.clone()} }
+
+// call invokes a generated helper function (or an OS API, hosted programs).
+type call struct {
+	fn   string
+	args []expr
+}
+
+func (c *call) render(sb *strings.Builder) {
+	sb.WriteString(c.fn)
+	sb.WriteString("(")
+	for i, a := range c.args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		a.render(sb)
+	}
+	sb.WriteString(")")
+}
+func (c *call) clone() expr {
+	args := make([]expr, len(c.args))
+	for i, a := range c.args {
+		args[i] = a.clone()
+	}
+	return &call{c.fn, args}
+}
+
+// stmt is a generated statement.
+type stmt interface {
+	render(sb *strings.Builder, indent int)
+	cloneStmt() stmt
+}
+
+func pad(sb *strings.Builder, indent int) { sb.WriteString(strings.Repeat("    ", indent)) }
+
+// assign is lhs op rhs; — lhs is a scalar name, masked index or deref, op is
+// "=" or a compound form.
+type assign struct {
+	lhs expr // varRef, *index, *rawIndex or *deref
+	op  string
+	rhs expr
+}
+
+func (a *assign) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	a.lhs.render(sb)
+	sb.WriteString(" ")
+	sb.WriteString(a.op)
+	sb.WriteString(" ")
+	a.rhs.render(sb)
+	sb.WriteString(";\n")
+}
+func (a *assign) cloneStmt() stmt { return &assign{a.lhs.clone(), a.op, a.rhs.clone()} }
+
+// incDec is x++; or x--;.
+type incDec struct {
+	name string
+	op   string
+}
+
+func (s *incDec) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	sb.WriteString(s.name)
+	sb.WriteString(s.op)
+	sb.WriteString(";\n")
+}
+func (s *incDec) cloneStmt() stmt { return &incDec{s.name, s.op} }
+
+// exprStmt evaluates an expression for effect (calls, mostly).
+type exprStmt struct{ x expr }
+
+func (s *exprStmt) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	s.x.render(sb)
+	sb.WriteString(";\n")
+}
+func (s *exprStmt) cloneStmt() stmt { return &exprStmt{s.x.clone()} }
+
+// ifStmt is if (cond) { then } [else { else }].
+type ifStmt struct {
+	cond      expr
+	then, alt []stmt
+}
+
+func (s *ifStmt) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	sb.WriteString("if (")
+	s.cond.render(sb)
+	sb.WriteString(") {\n")
+	for _, t := range s.then {
+		t.render(sb, indent+1)
+	}
+	pad(sb, indent)
+	if len(s.alt) > 0 {
+		sb.WriteString("} else {\n")
+		for _, t := range s.alt {
+			t.render(sb, indent+1)
+		}
+		pad(sb, indent)
+	}
+	sb.WriteString("}\n")
+}
+func (s *ifStmt) cloneStmt() stmt {
+	return &ifStmt{s.cond.clone(), cloneStmts(s.then), cloneStmts(s.alt)}
+}
+
+// forLoop is for (v = 0; v < n; v++) { body } — always terminating by
+// construction, as long as body never writes v (the generator guarantees
+// loop variables are reserved).
+type forLoop struct {
+	v    string
+	n    int
+	body []stmt
+}
+
+func (s *forLoop) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	fmt.Fprintf(sb, "for (%s = 0; %s < %d; %s++) {\n", s.v, s.v, s.n, s.v)
+	for _, t := range s.body {
+		t.render(sb, indent+1)
+	}
+	pad(sb, indent)
+	sb.WriteString("}\n")
+}
+func (s *forLoop) cloneStmt() stmt { return &forLoop{s.v, s.n, cloneStmts(s.body)} }
+
+// whileLoop is v = 0; while (v < n) { body; v++; } rendered as one unit.
+type whileLoop struct {
+	v    string
+	n    int
+	body []stmt
+}
+
+func (s *whileLoop) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	fmt.Fprintf(sb, "%s = 0;\n", s.v)
+	pad(sb, indent)
+	fmt.Fprintf(sb, "while (%s < %d) {\n", s.v, s.n)
+	for _, t := range s.body {
+		t.render(sb, indent+1)
+	}
+	pad(sb, indent+1)
+	fmt.Fprintf(sb, "%s++;\n", s.v)
+	pad(sb, indent)
+	sb.WriteString("}\n")
+}
+func (s *whileLoop) cloneStmt() stmt { return &whileLoop{s.v, s.n, cloneStmts(s.body)} }
+
+// retStmt is return x;.
+type retStmt struct{ x expr }
+
+func (s *retStmt) render(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	sb.WriteString("return ")
+	s.x.render(sb)
+	sb.WriteString(";\n")
+}
+func (s *retStmt) cloneStmt() stmt { return &retStmt{s.x.clone()} }
+
+// rawStmt is literal source — the adversarial generator uses it for the
+// attack preambles (pointer forging) that the benign grammar cannot express.
+type rawStmt struct{ text string }
+
+func (s *rawStmt) render(sb *strings.Builder, indent int) {
+	for _, line := range strings.Split(strings.TrimRight(s.text, "\n"), "\n") {
+		pad(sb, indent)
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+}
+func (s *rawStmt) cloneStmt() stmt { return &rawStmt{s.text} }
+
+func cloneStmts(ss []stmt) []stmt {
+	out := make([]stmt, len(ss))
+	for i, s := range ss {
+		out[i] = s.cloneStmt()
+	}
+	return out
+}
+
+// globalVar is one file-scope variable of the generated program.
+type globalVar struct {
+	name string
+	typ  string // "int", "uint", "char"
+	arr  int    // 0 = scalar, else array length (a power of two)
+	init []int32
+}
+
+func (g *globalVar) renderDecl(sb *strings.Builder) {
+	sb.WriteString(g.typ)
+	sb.WriteString(" ")
+	sb.WriteString(g.name)
+	if g.arr > 0 {
+		fmt.Fprintf(sb, "[%d]", g.arr)
+	}
+	if len(g.init) > 0 {
+		sb.WriteString(" = ")
+		if g.arr > 0 {
+			sb.WriteString("{ ")
+			for i, v := range g.init {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(sb, "%d", v)
+			}
+			sb.WriteString(" }")
+		} else {
+			// Global initializers are constant expressions: the parser
+			// accepts -N but not the (0 - N) form expressions use.
+			fmt.Fprintf(sb, "%d", g.init[0])
+		}
+	}
+	sb.WriteString(";\n")
+}
+
+// localVar is a declared local of a function body.
+type localVar struct {
+	name string
+	typ  string
+	init expr // nil = none
+}
+
+// function is one generated helper (or the entry point).
+type function struct {
+	name   string
+	params []string // all int
+	ret    string   // "int" or "void"
+	locals []localVar
+	body   []stmt
+}
+
+func (f *function) render(sb *strings.Builder) {
+	sb.WriteString(f.ret)
+	sb.WriteString(" ")
+	sb.WriteString(f.name)
+	sb.WriteString("(")
+	for i, p := range f.params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("int ")
+		sb.WriteString(p)
+	}
+	sb.WriteString(") {\n")
+	for _, l := range f.locals {
+		pad(sb, 1)
+		sb.WriteString(l.typ)
+		sb.WriteString(" ")
+		sb.WriteString(l.name)
+		if l.init != nil {
+			sb.WriteString(" = ")
+			l.init.render(sb)
+		}
+		sb.WriteString(";\n")
+	}
+	for _, s := range f.body {
+		s.render(sb, 1)
+	}
+	sb.WriteString("}\n")
+}
+
+func (f *function) clone() *function {
+	cp := &function{name: f.name, ret: f.ret}
+	cp.params = append([]string(nil), f.params...)
+	for _, l := range f.locals {
+		lc := localVar{name: l.name, typ: l.typ}
+		if l.init != nil {
+			lc.init = l.init.clone()
+		}
+		cp.locals = append(cp.locals, lc)
+	}
+	cp.body = cloneStmts(f.body)
+	return cp
+}
+
+// program is a complete generated unit, renderable to AmuletC source.
+type program struct {
+	seed       uint64
+	restricted bool // uses only the restricted (Feature-Limited) dialect
+	hosted     bool // entry point is handle_event, not main
+	globals    []*globalVar
+	rawGlobals []string // declarations the globalVar shape cannot express
+	funcs      []*function
+	entry      *function
+	attack     *attack // non-nil for adversarial programs
+}
+
+// render produces the compilable source text.
+func (p *program) render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// torture seed %d\n", p.seed)
+	for _, g := range p.globals {
+		g.renderDecl(&sb)
+	}
+	for _, raw := range p.rawGlobals {
+		sb.WriteString(raw)
+		sb.WriteString("\n")
+	}
+	for _, f := range p.funcs {
+		sb.WriteString("\n")
+		f.render(&sb)
+	}
+	sb.WriteString("\n")
+	p.entry.render(&sb)
+	return sb.String()
+}
+
+func (p *program) clone() *program {
+	cp := &program{seed: p.seed, restricted: p.restricted, hosted: p.hosted, attack: p.attack}
+	cp.rawGlobals = append([]string(nil), p.rawGlobals...)
+	for _, g := range p.globals {
+		gc := *g
+		gc.init = append([]int32(nil), g.init...)
+		cp.globals = append(cp.globals, &gc)
+	}
+	for _, f := range p.funcs {
+		cp.funcs = append(cp.funcs, f.clone())
+	}
+	cp.entry = p.entry.clone()
+	return cp
+}

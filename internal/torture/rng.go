@@ -1,0 +1,59 @@
+// Package torture is the whole-program fuzzing and differential-execution
+// harness for the reproduction: a seeded generator emits random but
+// well-formed AmuletC programs (statements, loops, branches, function calls,
+// arrays, pointers, global state), compiles each through the real pipeline
+// (cc → asm → image), runs it on the simulated CPU under several isolation
+// modes and asserts mode equivalence — the paper's core claim that hybrid
+// MPU+compiler isolation preserves application semantics.
+//
+// A second, adversarial generator deliberately emits out-of-region loads,
+// stores and jumps and asserts that the isolation machinery traps every one,
+// attributing the catch to the layer responsible (compiler-inserted check,
+// MPU segment, kernel gate, or watchdog). Failing cases shrink to a minimal
+// reproducer and serialize to testdata/ for replay.
+//
+// Campaigns fan out over the internal/fleet worker pool; a campaign report
+// is a pure function of (seed, config) — byte-identical across runs and
+// worker counts.
+package torture
+
+// rng is a deterministic SplitMix64 pseudo-random source. The harness owns
+// its generator (rather than using math/rand) so that a seed reproduces the
+// exact same program stream on every Go release, forever — corpus files and
+// campaign reports depend on it.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64-bit word of the stream.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// intn returns a uniform int in [0, n). n must be positive.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeInt returns a uniform int in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// chance reports true with probability num/den.
+func (r *rng) chance(num, den int) bool { return r.intn(den) < num }
+
+// pick returns a random element of choices.
+func pick[T any](r *rng, choices []T) T { return choices[r.intn(len(choices))] }
+
+// caseSeed derives the seed of case i of a campaign from the campaign seed.
+// Like fleet.DeviceSeed, the derivation is position-based, so a case's
+// program does not depend on which worker generates it or in what order.
+func caseSeed(campaignSeed uint64, index int) uint64 {
+	r := rng{state: campaignSeed + uint64(index) + 1}
+	s := r.next()
+	if s == 0 {
+		s = 0xA5A5A5A5A5A5A5A5
+	}
+	return s
+}
