@@ -1,0 +1,252 @@
+// Command amuletbench runs the repository's core performance benchmarks
+// outside `go test` and emits a dated JSON snapshot, so the simulator's
+// throughput trajectory accumulates as comparable BENCH_<date>.json files:
+//
+//	amuletbench                      # run all benches, write BENCH_<date>.json
+//	amuletbench -label baseline      # write BENCH_<date>-baseline.json
+//	amuletbench -nodecodecache       # measure the live-decode engine instead
+//	amuletbench -stdout              # print the JSON instead of writing a file
+//	amuletbench -benchtime 3s        # run each benchmark for at least 3s
+//
+// Each entry reports host ns/op and simulated instructions retired per host
+// second — the "how fast is the simulator itself" metric the ROADMAP's
+// performance arc tracks (the sim-* paper metrics stay in `go test -bench`).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"amuletiso/internal/aft"
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/fleet"
+	"amuletiso/internal/kernel"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`          // operations timed
+	NsPerOp     float64 `json:"ns/op"`        // host nanoseconds per operation
+	InstrPerSec float64 `json:"instr/s"`      // simulated instructions per host second
+	SimInstr    uint64  `json:"simInstr"`     // total simulated instructions retired
+	WallSeconds float64 `json:"wall_seconds"` // total measured wall time
+}
+
+// Snapshot is the file-level schema of BENCH_<date>.json.
+type Snapshot struct {
+	Date        string   `json:"date"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	DecodeCache bool     `json:"decodeCache"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	label := flag.String("label", "", "suffix for the output file name (BENCH_<date>-<label>.json)")
+	outDir := flag.String("out", ".", "directory for the snapshot file")
+	toStdout := flag.Bool("stdout", false, "print JSON to stdout instead of writing a file")
+	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache")
+	flag.Parse()
+
+	cpu.SetDecodeCache(!*noCache)
+	if *benchtime <= 0 {
+		fail(fmt.Errorf("-benchtime must be positive, got %v", *benchtime))
+	}
+	if *label == "" && *noCache {
+		// Keep ablation runs from clobbering the same-day baseline snapshot.
+		*label = "nodecodecache"
+	}
+
+	snap := Snapshot{
+		Date:        time.Now().Format("2006-01-02"),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		DecodeCache: cpu.DecodeCacheEnabled(),
+	}
+	for _, b := range benches {
+		res, err := measure(b, *benchtime)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", b.name, err))
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %14.0f instr/s (%d ops)\n",
+			res.Name, res.NsPerOp, res.InstrPerSec, res.Ops)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if !*toStdout {
+		name := "BENCH_" + snap.Date
+		if *label != "" {
+			name += "-" + *label
+		}
+		path := filepath.Join(*outDir, name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fail(err)
+	}
+}
+
+// bench is one named workload: setup returns an op closure that performs one
+// operation and reports the simulated instructions it retired.
+type bench struct {
+	name  string
+	setup func() (op func() (uint64, error), err error)
+}
+
+// measure runs b's op until benchtime elapses (with a warm-up op first).
+func measure(b bench, benchtime time.Duration) (Result, error) {
+	op, err := b.setup()
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := op(); err != nil { // warm-up: build caches, page in firmware
+		return Result{}, err
+	}
+	var (
+		ops   int
+		instr uint64
+	)
+	start := time.Now()
+	for ops == 0 || time.Since(start) < benchtime {
+		n, err := op()
+		if err != nil {
+			return Result{}, err
+		}
+		instr += n
+		ops++
+	}
+	wall := time.Since(start)
+	return Result{
+		Name:        b.name,
+		Ops:         ops,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(ops),
+		InstrPerSec: float64(instr) / wall.Seconds(),
+		SimInstr:    instr,
+		WallSeconds: wall.Seconds(),
+	}, nil
+}
+
+// benches mirrors the tracked `go test -bench` families: raw simulator speed
+// (BenchmarkSimulator), a Figure 3 style compute-heavy standalone program,
+// and fleet throughput (BenchmarkFleetThroughput).
+var benches = []bench{
+	{name: "Simulator/MPU", setup: setupSimulator},
+	{name: "Standalone/Quicksort/MPU", setup: setupQuicksort},
+	{name: "FleetThroughput/32dev", setup: setupFleet},
+}
+
+// setupSimulator measures one kernel event dispatch (the BenchmarkSimulator
+// workload): a synthetic app's memory-ops handler under the MPU hybrid.
+func setupSimulator() (func() (uint64, error), error) {
+	app := apps.Synthetic()
+	fw, err := aft.Build([]aft.AppSource{app.AFT()}, cc.ModeMPU)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(fw)
+	k.RunUntil(1) // consume EvInit
+	return func() (uint64, error) {
+		before := k.CPU.Insns
+		k.Post(0, apps.EvMemOps, 100, 0)
+		if !k.Step() {
+			return 0, fmt.Errorf("event not delivered")
+		}
+		if len(k.Faults) > 0 {
+			return 0, fmt.Errorf("fault: %v", k.Faults[len(k.Faults)-1])
+		}
+		return k.CPU.Insns - before, nil
+	}, nil
+}
+
+// setupQuicksort measures a full standalone program run (compile once, run
+// per op), the shape of the paper's Figure 3 benchmarks.
+func setupQuicksort() (func() (uint64, error), error) {
+	const src = `
+int a[64];
+int seed;
+int rnd() { seed = seed * 1103 + 12345; return seed % 1000; }
+void sort(int lo, int hi) {
+    int i; int j; int p; int t;
+    if (lo >= hi) { return; }
+    p = a[(lo + hi) / 2]; i = lo; j = hi;
+    while (i <= j) {
+        while (a[i] < p) { i = i + 1; }
+        while (a[j] > p) { j = j - 1; }
+        if (i <= j) { t = a[i]; a[i] = a[j]; a[j] = t; i = i + 1; j = j - 1; }
+    }
+    sort(lo, j);
+    sort(i, hi);
+}
+int main() {
+    int i;
+    seed = 7;
+    for (i = 0; i < 64; i++) { a[i] = rnd(); }
+    sort(0, 63);
+    return a[0] + a[63];
+}
+`
+	p, err := cc.CompileProgram("qs", src, cc.ProgramOptions{
+		Mode: cc.ModeMPU, EnableMPU: true, StackBytes: 1024,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func() (uint64, error) {
+		m := p.Load()
+		reason, fault := m.Run(50_000_000)
+		if fault != nil || reason != cpu.StopHalt {
+			return 0, fmt.Errorf("stop=%v fault=%v", reason, fault)
+		}
+		return m.CPU.Insns, nil
+	}, nil
+}
+
+// setupFleet measures a 32-device fleet run per op, matching the
+// BenchmarkFleetThroughput scenario.
+func setupFleet() (func() (uint64, error), error) {
+	pedometer, ok := apps.ByName("pedometer")
+	if !ok {
+		return nil, fmt.Errorf("no pedometer app")
+	}
+	hr, ok := apps.ByName("hr")
+	if !ok {
+		return nil, fmt.Errorf("no hr app")
+	}
+	sc := fleet.Scenario{
+		Name:       "bench",
+		Apps:       []apps.App{pedometer, hr},
+		Mode:       cc.ModeMPU,
+		DurationMS: 2_000,
+		Devices:    32,
+		Seed:       1,
+	}
+	runner := &fleet.Runner{Cache: fleet.NewBuildCache()}
+	return func() (uint64, error) {
+		rep, err := runner.Run(context.Background(), sc)
+		if err != nil {
+			return 0, err
+		}
+		return rep.TotalInsns, nil
+	}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amuletbench:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"amuletiso"
 	"amuletiso/internal/apps"
 	"amuletiso/internal/cc"
+	"amuletiso/internal/cpu"
 	"amuletiso/internal/fleet"
 	"amuletiso/internal/kernel"
 )
@@ -46,7 +47,10 @@ func main() {
 	backoff := flag.Uint64("backoff", 1000, "restart policy: backoff before restart, ms")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON on stdout")
 	name := flag.String("name", "fleet", "scenario name recorded in the report")
+	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
 	flag.Parse()
+
+	cpu.SetDecodeCache(!*noCache)
 
 	modes, err := parseModes(*modeName)
 	if err != nil {

@@ -27,7 +27,10 @@ func main() {
 	modeName := flag.String("mode", "MPU", "isolation mode")
 	ms := flag.Uint64("ms", 10_000, "virtual milliseconds to run (kernel form)")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget (standalone form)")
+	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
 	flag.Parse()
+
+	cpu.SetDecodeCache(!*noCache)
 
 	var mode cc.Mode
 	found := false

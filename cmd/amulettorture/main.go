@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"time"
 
+	"amuletiso/internal/cpu"
 	"amuletiso/internal/torture"
 )
 
@@ -45,7 +46,11 @@ func main() {
 	emit := flag.Uint64("emit", 0, "print the generated program for this seed and exit")
 	emitKind := flag.String("emit-kind", "differential", "case kind for -emit")
 	writeCorpus := flag.String("write-corpus", "", "regenerate the committed regression corpus into this directory and exit")
+	noCache := flag.Bool("nodecodecache", false,
+		"disable the predecoded instruction cache; campaigns must report identical bytes either way")
 	flag.Parse()
+
+	cpu.SetDecodeCache(!*noCache)
 
 	if *emit != 0 {
 		c := torture.BuildCase(*emitKind, *emit, false)

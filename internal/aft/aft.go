@@ -86,6 +86,13 @@ type Firmware struct {
 
 	// Vars maps OS variable symbols to their data addresses.
 	Vars map[string]uint16
+
+	// Text is the decode-once instruction cache over the firmware's
+	// executable text (OS code plus every app's code segment). Like the
+	// image it is immutable after Build and shared by every kernel booted
+	// from this firmware, so a fleet of devices pays the decode cost once
+	// per (app set, mode) build rather than once per executed instruction.
+	Text *isa.Program
 }
 
 // AppSAM is the MPUSAM app plan: seg1 execute-only, seg2 read/write,
@@ -240,6 +247,18 @@ func Build(apps []AppSource, mode cc.Mode) (*Firmware, error) {
 			return nil, fmt.Errorf("aft: app %q does not fit in FRAM (data ends at 0x%04X)",
 				a.Name, info.DataHi)
 		}
+	}
+	// Predecode the executable text once per build. Data/stack segments are
+	// deliberately excluded: they are mutable, so caching them would force
+	// the bus watch onto every stack push and global store. With the cache
+	// globally disabled the kernel would discard the decode at boot, so
+	// skip the work entirely.
+	if cpu.DecodeCacheEnabled() {
+		ranges := []isa.TextRange{{Lo: mem.FRAMLo, Hi: img.MustSym(abi.SymOSDataLo)}}
+		for _, info := range fw.Apps {
+			ranges = append(ranges, isa.TextRange{Lo: info.CodeLo, Hi: info.CodeHi})
+		}
+		fw.Text = isa.Predecode(img, ranges)
 	}
 	return fw, nil
 }

@@ -108,6 +108,33 @@ func (img *Image) MustSym(name string) uint16 {
 	return v
 }
 
+// ReadCodeWord implements isa.WordReader over the linked image (segments are
+// sorted and coalesced by normalize, so a binary search finds the byte's
+// segment). Unmapped addresses read 0xFF, matching the erased-FRAM
+// convention of a freshly loaded bus — a predecode cache built from the
+// image therefore sees exactly the bytes a booted machine would.
+func (img *Image) ReadCodeWord(addr uint16) uint16 {
+	return uint16(img.byteAt(addr)) | uint16(img.byteAt(addr+1))<<8
+}
+
+// byteAt returns the image byte at addr, or 0xFF when unmapped.
+func (img *Image) byteAt(addr uint16) byte {
+	lo, hi := 0, len(img.Segments)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		s := img.Segments[mid]
+		switch {
+		case addr < s.Addr:
+			hi = mid
+		case uint32(addr) >= s.End():
+			lo = mid + 1
+		default:
+			return s.Data[addr-s.Addr]
+		}
+	}
+	return 0xFF
+}
+
 // LoadInto copies all segments into the bus (loader path, unchecked). The
 // image itself is untouched: every loaded machine gets its own byte copy, so
 // one linked image can boot any number of concurrent machines.

@@ -43,6 +43,12 @@ type Program struct {
 	Image   *asm.Image
 	Checked *Checked
 	Options ProgramOptions
+
+	// Text is the decode-once instruction cache over the program's
+	// executable text (OS/runtime code through the end of the app's code
+	// segment), built at compile time and shared by every machine Load
+	// returns. Load attaches it unless cpu.SetDecodeCache(false) is active.
+	Text *isa.Program
 }
 
 // stackSize derives the stack reservation.
@@ -139,7 +145,19 @@ func CompileProgram(name, src string, opt ProgramOptions) (*Program, error) {
 		return nil, fmt.Errorf("cc: layout: %s", ov)
 	}
 	img.Entry = img.MustSym("__start")
-	return &Program{Name: name, Mode: opt.Mode, Image: img, Checked: chk, Options: opt}, nil
+	// Text stops at the app's data segment: everything below it (startup,
+	// runtime library, app code) is immutable at run time, everything above
+	// (stack, globals) is not and must go through the live decoder. With the
+	// cache globally disabled the decode would be thrown away at Load, so
+	// skip it (torture's -nodecodecache campaigns compile thousands of
+	// programs).
+	var text *isa.Program
+	if cpu.DecodeCacheEnabled() {
+		text = isa.Predecode(img, []isa.TextRange{
+			{Lo: mem.FRAMLo, Hi: img.MustSym(abi.SymDataLo(name))},
+		})
+	}
+	return &Program{Name: name, Mode: opt.Mode, Image: img, Checked: chk, Options: opt, Text: text}, nil
 }
 
 // emitMPUSetup emits startup code that programs the MPU registers with the
@@ -179,6 +197,7 @@ func (p *Program) Load() *Machine {
 	m.MPU = u
 	p.Image.LoadInto(bus)
 	c.SetPC(p.Image.Entry)
+	c.UseProgram(p.Text)
 	return m
 }
 

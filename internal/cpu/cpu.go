@@ -12,10 +12,28 @@ package cpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
 )
+
+// decodeCacheOff globally disables UseProgram when set — the
+// `-nodecodecache` escape hatch the CLIs expose so any run can be replayed
+// on the always-correct live-decode path (differential guardrail).
+var decodeCacheOff atomic.Bool
+
+// SetDecodeCache enables or disables attachment of predecode caches
+// process-wide. It affects machines loaded after the call; already-attached
+// caches stay attached. The flag is also consulted at firmware build time
+// (aft.Build / cc.CompileProgram skip the predecode pass entirely when
+// disabled), so a firmware built while disabled carries no cache even if
+// the flag is re-enabled before load — set the flag once, before building,
+// as the CLIs do.
+func SetDecodeCache(on bool) { decodeCacheOff.Store(!on) }
+
+// DecodeCacheEnabled reports whether predecode caches are attached at load.
+func DecodeCacheEnabled() bool { return !decodeCacheOff.Load() }
 
 // StopReason explains why Run returned.
 type StopReason int
@@ -81,12 +99,47 @@ type CPU struct {
 	Console []byte
 
 	pendingIRQ []uint16 // queued interrupt vector addresses
+
+	// prog is the attached predecode cache (nil: every Step live-decodes).
+	// dirty holds the word-aligned addresses of cached text overwritten on
+	// THIS machine; the cache itself is shared and immutable (a fleet's
+	// devices all point at one Program), so self-modification must be
+	// tracked per device, not by mutating the shared cache.
+	prog  *isa.Program
+	dirty map[uint16]struct{}
+	// slow is the live-decode path's reusable checked word reader (a field
+	// so taking its address for the isa.WordReader interface never
+	// allocates on the per-instruction path).
+	slow slowFetch
+}
+
+// slowFetch feeds the decoder through the checked bus fetch path, latching
+// the first execute violation instead of failing mid-decode.
+type slowFetch struct {
+	bus  *mem.Bus
+	viol *mem.Violation
+}
+
+// ReadCodeWord implements isa.WordReader: each word the decoder consumes is
+// execute-checked and counted exactly once; after a violation the bus is not
+// touched again.
+func (s *slowFetch) ReadCodeWord(addr uint16) uint16 {
+	if s.viol != nil {
+		return 0
+	}
+	v, fv := s.bus.Fetch16(addr)
+	if fv != nil {
+		s.viol = fv
+		return 0
+	}
+	return v
 }
 
 // New returns a CPU attached to bus with PC/SP zeroed. Callers must set PC
 // (and usually SP) before Run.
 func New(bus *mem.Bus) *CPU {
 	c := &CPU{Bus: bus}
+	c.slow.bus = bus
 	bus.Map(portBase, portLimit, &portDevice{c})
 	bus.Map(TimerBase, TimerBase+0x1E, &TimerA{c: c})
 	bus.Map(MPYBase, MPYResHi+1, &MPY32{})
@@ -162,9 +215,70 @@ func (c *CPU) serviceInterrupt() *Fault {
 	return nil
 }
 
+// UseProgram attaches a predecoded cache of the loaded image's text (built
+// once per firmware, typically shared across many machines) and registers
+// the bus code watch that keeps it honest: any write into cached text marks
+// the covered words dirty on this CPU, and dirty or uncached PCs fall back
+// to the live decoder. Passing nil (or disabling via SetDecodeCache before
+// load) detaches the cache and the watch.
+func (c *CPU) UseProgram(p *isa.Program) {
+	c.dirty = nil
+	if p == nil || decodeCacheOff.Load() {
+		c.prog = nil
+		c.Bus.WatchCode(nil, nil)
+		return
+	}
+	c.prog = p
+	ranges := p.Ranges()
+	watch := make([]mem.CodeRange, len(ranges))
+	for i, r := range ranges {
+		watch[i] = mem.CodeRange{Lo: r.Lo, Hi: r.Hi}
+	}
+	c.Bus.WatchCode(watch, c.invalidateCode)
+}
+
+// Program returns the attached predecode cache, if any.
+func (c *CPU) Program() *isa.Program { return c.prog }
+
+// invalidateCode marks every word of the overwritten byte span [lo, hi]
+// dirty; Step routes dirty PCs to the live decoder so the new bytes execute.
+func (c *CPU) invalidateCode(lo, hi uint16) {
+	if c.dirty == nil {
+		c.dirty = make(map[uint16]struct{})
+	}
+	// Both bounds aligned down: a walks even addresses and lands exactly on
+	// hi&^1, so the loop cannot wrap.
+	for a := lo &^ 1; ; a += 2 {
+		c.dirty[a] = struct{}{}
+		if a >= hi&^1 {
+			break
+		}
+	}
+}
+
+// spanDirty reports whether any instruction word of [pc, pc+size) has been
+// overwritten since the cache was built. A write to an extension word
+// invalidates the instruction just as a write to its opcode word does.
+func (c *CPU) spanDirty(pc, size uint16) bool {
+	if len(c.dirty) == 0 {
+		return false
+	}
+	for off := uint16(0); off < size; off += 2 {
+		if _, ok := c.dirty[pc+off]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // Step executes one instruction (servicing a pending interrupt first).
 // It returns a non-nil *Fault if the instruction could not complete; CPU
 // state is left as of the fault for inspection.
+//
+// With a predecode cache attached, PCs inside clean cached text skip the
+// decoder entirely: the bus still execute-checks and counts every
+// instruction word (so MPU enforcement and fetch statistics are identical
+// to the live path), but operands and cycle costs come from the cache.
 func (c *CPU) Step() *Fault {
 	if len(c.pendingIRQ) > 0 && c.flag(isa.FlagGIE) {
 		if f := c.serviceInterrupt(); f != nil {
@@ -172,15 +286,37 @@ func (c *CPU) Step() *Fault {
 		}
 	}
 	pc := c.PC()
-	in, size, err := isa.Decode(c.Bus, pc)
+	if c.prog != nil {
+		if e := c.prog.At(pc); e != nil && !c.spanDirty(pc, e.Size) {
+			if viol := c.Bus.FetchWords(pc, e.Size); viol != nil {
+				return &Fault{PC: pc, Violation: viol}
+			}
+			c.SetPC(pc + e.Size)
+			f := c.exec(pc, e.Size, e.In)
+			if f == nil {
+				c.Cycles += uint64(e.Cost)
+				c.Insns++
+			}
+			return f
+		}
+	}
+	return c.stepSlow(pc)
+}
+
+// stepSlow is the live-decode path: PCs outside cached text, uncacheable
+// slots, and self-modified code. Each instruction word is fetched through
+// the checked bus path exactly once — the execute-permission check and the
+// fetch statistics happen on the same read that feeds the decoder, so
+// Bus.Stats() fetch counts always agree with the words the instruction
+// actually consumed (and with the cached path's accounting).
+func (c *CPU) stepSlow(pc uint16) *Fault {
+	c.slow.viol = nil
+	in, size, err := isa.Decode(&c.slow, pc)
+	if c.slow.viol != nil {
+		return &Fault{PC: pc, Violation: c.slow.viol}
+	}
 	if err != nil {
 		return &Fault{PC: pc, Reason: err.Error()}
-	}
-	// Charge the fetch through the checked path (execute permission).
-	for off := uint16(0); off < size; off += 2 {
-		if _, viol := c.Bus.Fetch16(pc + off); viol != nil {
-			return &Fault{PC: pc, Violation: viol}
-		}
 	}
 	c.SetPC(pc + size)
 	f := c.exec(pc, size, in)

@@ -15,6 +15,12 @@ import (
 // once and every device boots from the shared immutable image (the kernel
 // clones the image bytes into its private bus at load).
 //
+// The build includes the firmware's predecoded instruction cache
+// (aft.Firmware.Text): all N devices execute from the one shared decode of
+// their common text, so per-device decode cost amortizes to zero — only
+// devices whose code is overwritten at run time fall back to live decoding,
+// and only for the overwritten words.
+//
 // The cache is safe for concurrent use; concurrent requests for the same key
 // coalesce onto a single build.
 type BuildCache struct {

@@ -237,6 +237,7 @@ func simulate(ctx context.Context, sc *Scenario, fw *aft.Firmware, device int) (
 		Dispatches:       dispatches,
 		Syscalls:         syscalls,
 		Cycles:           cycles,
+		Insns:            k.CPU.Insns,
 		OSCycles:         k.OSCycles,
 		Faults:           len(k.Faults),
 		WeeklyBatteryPct: batteryPct(cycles, sc.DurationMS),

@@ -151,6 +151,34 @@ func TestBuildCacheCompilesOnce(t *testing.T) {
 	}
 }
 
+// TestFleetSharesPredecodedText asserts the decode-once property at fleet
+// scale: every kernel booted from a cached build executes from the one
+// Program the firmware carries, so decode cost is paid once per
+// (app set, mode), not once per device.
+func TestFleetSharesPredecodedText(t *testing.T) {
+	cache := NewBuildCache()
+	pedometer, _ := apps.ByName("pedometer")
+	list := []apps.App{pedometer}
+	fw, err := cache.Get(list, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Text == nil {
+		t.Fatal("cached firmware has no predecoded text")
+	}
+	k1 := kernel.NewSeeded(fw, 1)
+	k2 := kernel.NewSeeded(fw, 2)
+	if k1.CPU.Program() != fw.Text || k2.CPU.Program() != fw.Text {
+		t.Fatal("kernels do not share the firmware's predecode cache")
+	}
+	// The shared cache must survive a device's workload untouched: run one
+	// device and confirm the other still points at the same immutable cache.
+	k1.RunUntil(1_000)
+	if k2.CPU.Program() != fw.Text {
+		t.Fatal("running one device perturbed another's cache attachment")
+	}
+}
+
 func TestFaultInjectionExercisesRestartPolicy(t *testing.T) {
 	sc := testScenario(4)
 	rep, err := Run(context.Background(), sc)

@@ -20,6 +20,7 @@ type DeviceResult struct {
 	Dispatches uint64 `json:"dispatches"`
 	Syscalls   uint64 `json:"syscalls"`
 	Cycles     uint64 `json:"cycles"`   // active cycles across all apps
+	Insns      uint64 `json:"insns"`    // retired simulated instructions
 	OSCycles   uint64 `json:"osCycles"` // modeled scheduler/service share
 	Faults     int    `json:"faults"`
 	AppsAlive  int    `json:"appsAlive"`
@@ -91,6 +92,7 @@ type Report struct {
 	TotalDispatches uint64 `json:"totalDispatches"`
 	TotalSyscalls   uint64 `json:"totalSyscalls"`
 	TotalCycles     uint64 `json:"totalCycles"`
+	TotalInsns      uint64 `json:"totalInsns"`
 	TotalFaults     int    `json:"totalFaults"`
 	DevicesFaulted  int    `json:"devicesFaulted"`
 
@@ -114,7 +116,7 @@ func (r *Report) finalize() {
 	})
 	r.Devices = len(r.PerDevice)
 	r.TotalEvents, r.TotalDispatches, r.TotalSyscalls = 0, 0, 0
-	r.TotalCycles, r.TotalFaults, r.DevicesFaulted = 0, 0, 0
+	r.TotalCycles, r.TotalInsns, r.TotalFaults, r.DevicesFaulted = 0, 0, 0, 0
 	r.FaultReasons = nil
 	r.FaultClasses = nil
 	cycles := make([]float64, 0, len(r.PerDevice))
@@ -124,6 +126,7 @@ func (r *Report) finalize() {
 		r.TotalDispatches += d.Dispatches
 		r.TotalSyscalls += d.Syscalls
 		r.TotalCycles += d.Cycles
+		r.TotalInsns += d.Insns
 		r.TotalFaults += d.Faults
 		if d.Faults > 0 {
 			r.DevicesFaulted++

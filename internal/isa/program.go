@@ -1,0 +1,111 @@
+package isa
+
+// Predecoded program cache. The paper's threat model makes application and
+// OS text immutable at run time (load-time verified, execute-only under the
+// MPU plans), which is exactly the property execute-only-memory systems
+// exploit: code that cannot change need only be decoded once. A Program is
+// that decode-once cache — every word-aligned offset of the firmware's text
+// ranges decoded up front into a dense array of CachedInstr (pre-resolved
+// operands and cycle costs) indexed by (pc - base) >> 1.
+//
+// The cache is a pure function of the image bytes: it holds no bus or device
+// state, so one Program built from a linked image serves any number of
+// concurrently running machines (the fleet engine shares one per
+// (app-set, mode) build). Correctness under self-modifying or hostile code is
+// the CPU's job: it tracks overwritten code words and falls back to the live
+// decoder for them (see cpu.UseProgram).
+
+// TextRange is one executable text span [Lo, Hi) of an image. Ranges must
+// not wrap the address space.
+type TextRange struct {
+	Lo, Hi uint16
+}
+
+// CachedInstr is one predecoded instruction slot.
+type CachedInstr struct {
+	In   Instr
+	Size uint16 // encoded size in bytes; 0 marks an uncacheable slot
+	Cost uint16 // Cycles(In), precomputed
+}
+
+// Program is a decode-once cache over an image's text ranges.
+type Program struct {
+	base   uint16
+	ins    []CachedInstr
+	ranges []TextRange
+	cached int
+}
+
+// Predecode decodes every word-aligned offset of the given text ranges
+// through r (typically a linked image or a freshly loaded bus). Offsets that
+// do not decode, or whose extension words would spill past the end of their
+// text range (into mutable data the cache cannot watch), are left
+// uncacheable and serviced by the CPU's live-decode path.
+func Predecode(r WordReader, ranges []TextRange) *Program {
+	// Degenerate ranges (Hi <= Lo) cover nothing; dropping them here also
+	// keeps the slot-count arithmetic below from underflowing.
+	valid := make([]TextRange, 0, len(ranges))
+	for _, tr := range ranges {
+		if tr.Hi > tr.Lo {
+			valid = append(valid, tr)
+		}
+	}
+	ranges = valid
+	if len(ranges) == 0 {
+		return nil
+	}
+	base, end := ranges[0].Lo, ranges[0].Hi
+	for _, tr := range ranges[1:] {
+		if tr.Lo < base {
+			base = tr.Lo
+		}
+		if tr.Hi > end {
+			end = tr.Hi
+		}
+	}
+	base &^= 1
+	p := &Program{
+		base:   base,
+		ins:    make([]CachedInstr, (uint32(end)-uint32(base)+1)/2),
+		ranges: append([]TextRange(nil), ranges...),
+	}
+	for _, tr := range ranges {
+		// An odd Lo rounds UP: the partial word below it lies outside the
+		// watched range, so caching it could never be invalidated.
+		for a := (tr.Lo + 1) &^ 1; a+1 < tr.Hi && a >= tr.Lo; a += 2 {
+			in, size, err := Decode(r, a)
+			if err != nil || uint32(a)+uint32(size) > uint32(tr.Hi) {
+				continue // uncacheable: live decode handles it
+			}
+			p.ins[(a-base)>>1] = CachedInstr{In: in, Size: size, Cost: uint16(Cycles(in))}
+			p.cached++
+		}
+	}
+	return p
+}
+
+// At returns the cached slot for pc, or nil when pc lies outside the cached
+// text or the slot is uncacheable. pc must be even (the CPU's PC always is).
+func (p *Program) At(pc uint16) *CachedInstr {
+	if pc < p.base {
+		return nil
+	}
+	idx := int(pc-p.base) >> 1
+	if idx >= len(p.ins) {
+		return nil
+	}
+	e := &p.ins[idx]
+	if e.Size == 0 {
+		return nil
+	}
+	return e
+}
+
+// Ranges returns the text ranges the cache covers (the spans a bus watch
+// must guard against writes). The slice is a copy: the Program is shared
+// read-only across machines, so callers must not be able to mutate it.
+func (p *Program) Ranges() []TextRange { return append([]TextRange(nil), p.ranges...) }
+
+// Cached returns how many instruction slots decoded successfully —
+// introspection for tests and tooling.
+func (p *Program) Cached() int { return p.cached }

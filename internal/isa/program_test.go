@@ -1,0 +1,130 @@
+package isa
+
+import "testing"
+
+// testWords adapts a word map to WordReader; absent addresses read erased
+// FRAM (0xFFFF), like an image or a fresh bus.
+type testWords map[uint16]uint16
+
+func (m testWords) ReadCodeWord(addr uint16) uint16 {
+	if v, ok := m[addr&^1]; ok {
+		return v
+	}
+	return 0xFFFF
+}
+
+// encodeAt encodes in into mem starting at addr and returns its size.
+func encodeAt(t *testing.T, mem testWords, addr uint16, in Instr) uint16 {
+	t.Helper()
+	ws, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode %v: %v", in, err)
+	}
+	for i, w := range ws {
+		mem[addr+2*uint16(i)] = w
+	}
+	return uint16(2 * len(ws))
+}
+
+// TestPredecodeMatchesDecode checks that every cached slot agrees with a
+// live Decode at the same address, and that undecodable or range-spilling
+// slots are uncacheable.
+func TestPredecodeMatchesDecode(t *testing.T) {
+	mem := testWords{}
+	addr := uint16(0x4400)
+	prog := []Instr{
+		{Op: MOV, Src: Imm(0x1234), Dst: RegOp(R4)},
+		{Op: ADD, Src: RegOp(R4), Dst: Idx(6, R5)},
+		{Op: PUSH, Src: Abs(0x2000)},
+		{Op: CALL, Src: Imm(0x4400)},
+		{Op: JNE, Dst: Operand{Mode: ModeNone, X: uint16(0xFFFD)}}, // offset -3 words
+		{Op: XOR, Byte: true, Src: Ind(R6), Dst: RegOp(R7)},
+		{Op: RETI, Src: NoOperand, Dst: NoOperand},
+	}
+	for _, in := range prog {
+		addr += encodeAt(t, mem, addr, in)
+	}
+	end := addr
+	// An illegal word (format II opc 7) right after the program.
+	mem[end] = 0x13C0
+	end += 2
+
+	p := Predecode(mem, []TextRange{{Lo: 0x4400, Hi: end}})
+	if p == nil {
+		t.Fatal("Predecode returned nil for a non-empty range")
+	}
+	for pc := uint16(0x4400); pc < end; pc += 2 {
+		in, size, err := Decode(mem, pc)
+		e := p.At(pc)
+		switch {
+		case err != nil || uint32(pc)+uint32(size) > uint32(end):
+			if e != nil {
+				t.Errorf("pc=0x%04X: expected uncacheable slot, got %+v", pc, e)
+			}
+		case e == nil:
+			t.Errorf("pc=0x%04X: decodable instruction %v not cached", pc, in)
+		default:
+			if e.In != in || e.Size != size || int(e.Cost) != Cycles(in) {
+				t.Errorf("pc=0x%04X: cached (%v, size=%d, cost=%d) != decoded (%v, size=%d, cost=%d)",
+					pc, e.In, e.Size, e.Cost, in, size, Cycles(in))
+			}
+		}
+	}
+	if p.Cached() == 0 {
+		t.Error("no slots cached")
+	}
+}
+
+// TestPredecodeRangeSpill checks an instruction whose extension words would
+// cross the end of its text range is left uncacheable (those words live in
+// mutable memory the cache cannot watch).
+func TestPredecodeRangeSpill(t *testing.T) {
+	mem := testWords{}
+	// MOV #imm, R4 is 4 bytes; cache a range that cuts it in half.
+	size := encodeAt(t, mem, 0x5000, Instr{Op: MOV, Src: Imm(0x5555), Dst: RegOp(R4)})
+	if size != 4 {
+		t.Fatalf("test instruction should be 4 bytes, got %d", size)
+	}
+	p := Predecode(mem, []TextRange{{Lo: 0x5000, Hi: 0x5002}})
+	if e := p.At(0x5000); e != nil {
+		t.Errorf("instruction spilling past its range was cached: %+v", e)
+	}
+}
+
+// TestPredecodeOutside checks PCs outside every range are uncached.
+func TestPredecodeOutside(t *testing.T) {
+	mem := testWords{}
+	encodeAt(t, mem, 0x5000, Instr{Op: MOV, Src: RegOp(R4), Dst: RegOp(R5)})
+	encodeAt(t, mem, 0x6000, Instr{Op: MOV, Src: RegOp(R5), Dst: RegOp(R6)})
+	p := Predecode(mem, []TextRange{{Lo: 0x5000, Hi: 0x5002}, {Lo: 0x6000, Hi: 0x6002}})
+	for _, pc := range []uint16{0x4FFE, 0x5002, 0x5FFE, 0x6002, 0x0000, 0xFFFE} {
+		if e := p.At(pc); e != nil {
+			t.Errorf("pc=0x%04X outside text ranges was cached: %+v", pc, e)
+		}
+	}
+	for _, pc := range []uint16{0x5000, 0x6000} {
+		if p.At(pc) == nil {
+			t.Errorf("pc=0x%04X inside a text range was not cached", pc)
+		}
+	}
+	if got := p.Cached(); got != 2 {
+		t.Errorf("Cached() = %d, want 2", got)
+	}
+}
+
+// TestPredecodeEmpty checks the nil contract for empty or degenerate range
+// sets (a reversed range must not underflow the slot-count allocation).
+func TestPredecodeEmpty(t *testing.T) {
+	if p := Predecode(testWords{}, nil); p != nil {
+		t.Errorf("Predecode(nil ranges) = %v, want nil", p)
+	}
+	if p := Predecode(testWords{}, []TextRange{{Lo: 0x5000, Hi: 0x4000}, {Lo: 0x6000, Hi: 0x6000}}); p != nil {
+		t.Errorf("Predecode(degenerate ranges) = %v, want nil", p)
+	}
+	mem := testWords{}
+	encodeAt(t, mem, 0x5000, Instr{Op: MOV, Src: RegOp(R4), Dst: RegOp(R5)})
+	p := Predecode(mem, []TextRange{{Lo: 0x5000, Hi: 0x5002}, {Lo: 0x7000, Hi: 0x6000}})
+	if p == nil || p.At(0x5000) == nil {
+		t.Error("valid range alongside a degenerate one was not cached")
+	}
+}

@@ -261,6 +261,13 @@ func NewSeeded(fw *aft.Firmware, seed uint32) *Kernel {
 	}
 	bus.Map(abi.PortFault, abi.PortSvcExtra+1, &kernelPorts{k})
 	fw.Image.LoadInto(bus)
+	// Attach the firmware's shared predecode cache after the image lands on
+	// the bus (the load itself must not count as self-modification). The
+	// cache survives watchdog kills and app restarts: restarts re-deliver
+	// EvInit over the same loaded text, so there is nothing to rebuild, and
+	// any code word an app managed to overwrite stays (correctly) routed to
+	// the live decoder on this device only.
+	c.UseProgram(fw.Text)
 	c.OnSyscall = k.service
 
 	for i, info := range fw.Apps {

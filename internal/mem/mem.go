@@ -93,6 +93,20 @@ type devEntry struct {
 	dev    Device
 }
 
+// pageShift/numPages size the device dispatch page table: 256 pages of 256
+// bytes each cover the 64 KiB space.
+const (
+	pageShift = 8
+	numPages  = 1 << (16 - pageShift)
+)
+
+// CodeRange is one executable text span [Lo, Hi) backing a predecode cache;
+// writes landing inside it must invalidate the cached instructions (see
+// WatchCode).
+type CodeRange struct {
+	Lo, Hi uint16
+}
+
 // Checker vets an access before it is performed. A nil return allows the
 // access. The canonical Checker is the MPU model.
 type Checker interface {
@@ -105,6 +119,18 @@ type Checker interface {
 type Bus struct {
 	data [1 << 16]byte
 	devs []devEntry
+	// pages is the precomputed device dispatch table: pages[addr>>8] lists
+	// the devices overlapping that 256-byte page in registration order, so
+	// the common case (plain memory, no device) is a nil check instead of a
+	// linear scan over every mapped device.
+	pages [numPages][]devEntry
+
+	// Code-write watch: the predecode cache's invalidation hook. codePages
+	// marks pages overlapping any watched text range so the per-write cost
+	// off the watched ranges is a single table load.
+	codeRanges  []CodeRange
+	codePages   [numPages]bool
+	onCodeWrite func(lo, hi uint16)
 
 	// Checker, if non-nil, vets every data access and instruction fetch.
 	Checker Checker
@@ -131,19 +157,96 @@ func NewBus() *Bus {
 }
 
 // Map registers a peripheral device over [lo, hi]. Later registrations take
-// priority over earlier ones, allowing tests to interpose.
+// priority over earlier ones, allowing tests to interpose. The page table is
+// maintained incrementally, so Map stays cheap enough for per-test buses.
 func (b *Bus) Map(lo, hi uint16, d Device) {
-	b.devs = append(b.devs, devEntry{lo, hi, d})
+	e := devEntry{lo, hi, d}
+	b.devs = append(b.devs, e)
+	for p := int(lo >> pageShift); p <= int(hi>>pageShift); p++ {
+		b.pages[p] = append(b.pages[p], e)
+	}
 }
 
-// deviceAt returns the device mapped at addr, or nil.
+// deviceAt returns the device mapped at addr, or nil. Dispatch goes through
+// the page table; per-page lists preserve global registration order, so the
+// reverse scan keeps the later-registration-wins contract of deviceAtLinear.
 func (b *Bus) deviceAt(addr uint16) Device {
+	entries := b.pages[addr>>pageShift]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if addr >= entries[i].lo && addr <= entries[i].hi {
+			return entries[i].dev
+		}
+	}
+	return nil
+}
+
+// deviceAtLinear is the pre-page-table reference implementation, kept as the
+// oracle the page table is tested against.
+func (b *Bus) deviceAtLinear(addr uint16) Device {
 	for i := len(b.devs) - 1; i >= 0; i-- {
 		if addr >= b.devs[i].lo && addr <= b.devs[i].hi {
 			return b.devs[i].dev
 		}
 	}
 	return nil
+}
+
+// WatchCode registers the executable text ranges backing a predecode cache
+// and the callback notified when any write — checked, poke or loader — lands
+// inside one of them. The callback receives the overlapping byte span
+// [lo, hi] (inclusive), clamped per range. Passing a nil fn clears the watch.
+// At most one watch is active; the CPU owns it (see cpu.UseProgram).
+func (b *Bus) WatchCode(ranges []CodeRange, fn func(lo, hi uint16)) {
+	b.codePages = [numPages]bool{}
+	if fn == nil {
+		b.codeRanges, b.onCodeWrite = nil, nil
+		return
+	}
+	b.codeRanges = append([]CodeRange(nil), ranges...)
+	b.onCodeWrite = fn
+	for _, r := range ranges {
+		if r.Hi <= r.Lo {
+			continue
+		}
+		for p := int(r.Lo >> pageShift); p <= int((r.Hi-1)>>pageShift); p++ {
+			b.codePages[p] = true
+		}
+	}
+}
+
+// touchCode reports a write of the byte span [lo, hi] to the code watch.
+// The page bitmap makes the miss path (all data traffic, spanning one or
+// two pages) a couple of loads; hits clamp the span to each watched range
+// before invoking the callback. Multi-page spans (LoadBytes) must test
+// every covered page — the endpoints alone can both miss while the middle
+// overwrites watched text.
+func (b *Bus) touchCode(lo, hi uint16) {
+	if b.onCodeWrite == nil {
+		return
+	}
+	watched := false
+	for p := int(lo >> pageShift); p <= int(hi>>pageShift); p++ {
+		if b.codePages[p] {
+			watched = true
+			break
+		}
+	}
+	if !watched {
+		return
+	}
+	for _, r := range b.codeRanges {
+		if r.Hi <= r.Lo || hi < r.Lo || lo >= r.Hi {
+			continue
+		}
+		clo, chi := lo, hi
+		if clo < r.Lo {
+			clo = r.Lo
+		}
+		if chi > r.Hi-1 {
+			chi = r.Hi - 1
+		}
+		b.onCodeWrite(clo, chi)
+	}
 }
 
 // InRegion reports whether addr lies in [lo, hi].
@@ -161,9 +264,11 @@ func (b *Bus) rawRead16(addr uint16) uint16 {
 	return uint16(b.data[addr]) | uint16(b.data[addr+1])<<8
 }
 
-// rawWrite16 writes a word without checks or hooks.
+// rawWrite16 writes a word without checks or hooks (but it does feed the
+// code watch: predecoded text must never go stale, whoever writes it).
 func (b *Bus) rawWrite16(addr, v uint16) {
 	addr = align(addr)
+	b.touchCode(addr, addr+1)
 	if d := b.deviceAt(addr); d != nil {
 		d.WriteWord(addr, v)
 		return
@@ -251,6 +356,7 @@ func (b *Bus) Write8(addr uint16, val uint8) *Violation {
 	if iv := b.immutable(addr); iv != nil {
 		return iv
 	}
+	b.touchCode(addr, addr)
 	if d := b.deviceAt(align(addr)); d != nil {
 		w := d.ReadWord(align(addr))
 		if addr&1 == 1 {
@@ -288,6 +394,25 @@ func (b *Bus) Fetch16(addr uint16) (uint16, *Violation) {
 	return a.Value, nil
 }
 
+// FetchWords performs the checked instruction fetch for one predecoded
+// instruction of `size` bytes starting at addr: each word is execute-checked
+// and counted exactly as a Fetch16 would, stopping at the first violation,
+// but the memory re-read (the bits are already decoded) is skipped unless a
+// profiling hook needs the fetched value.
+func (b *Bus) FetchWords(addr, size uint16) *Violation {
+	for off := uint16(0); off < size; off += 2 {
+		a := Access{Addr: addr + off, Kind: Execute}
+		if v := b.check(a); v != nil {
+			return v
+		}
+		if b.OnAccess != nil {
+			a.Value = b.rawRead16(a.Addr)
+		}
+		b.observe(a)
+	}
+	return nil
+}
+
 // ReadCodeWord implements isa.WordReader for side-effect-free decoding.
 func (b *Bus) ReadCodeWord(addr uint16) uint16 { return b.rawRead16(addr) }
 
@@ -311,6 +436,7 @@ func (b *Bus) Poke16(addr, v uint16) { b.rawWrite16(addr, v) }
 
 // Poke8 writes a byte without checks or profiling (loader use).
 func (b *Bus) Poke8(addr uint16, v uint8) {
+	b.touchCode(addr, addr)
 	if d := b.deviceAt(align(addr)); d != nil {
 		w := d.ReadWord(align(addr))
 		if addr&1 == 1 {
@@ -325,7 +451,19 @@ func (b *Bus) Poke8(addr uint16, v uint8) {
 }
 
 // LoadBytes copies raw bytes into memory at addr without checks (loader use).
+// A load overlapping a watched code range invalidates the covered cache
+// entries, so image reloads over a live predecode cache stay correct.
 func (b *Bus) LoadBytes(addr uint16, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	last := addr + uint16(len(p)-1)
+	if last < addr { // wrapped past 0xFFFF
+		b.touchCode(addr, 0xFFFF)
+		b.touchCode(0, last)
+	} else {
+		b.touchCode(addr, last)
+	}
 	for i, v := range p {
 		b.data[addr+uint16(i)] = v
 	}
