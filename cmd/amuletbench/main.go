@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"amuletiso/internal/aft"
@@ -28,7 +29,9 @@ import (
 	"amuletiso/internal/cc"
 	"amuletiso/internal/cpu"
 	"amuletiso/internal/fleet"
+	"amuletiso/internal/isa"
 	"amuletiso/internal/kernel"
+	"amuletiso/internal/mem"
 )
 
 // Result is one benchmark's measurement.
@@ -46,6 +49,8 @@ type Snapshot struct {
 	Date        string   `json:"date"`
 	GoMaxProcs  int      `json:"gomaxprocs"`
 	DecodeCache bool     `json:"decodeCache"`
+	Fusion      bool     `json:"fusion"`
+	ExecCerts   bool     `json:"execCerts"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -55,21 +60,43 @@ func main() {
 	outDir := flag.String("out", ".", "directory for the snapshot file")
 	toStdout := flag.Bool("stdout", false, "print JSON to stdout instead of writing a file")
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache")
+	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion")
+	noCert := flag.Bool("nocert", false, "disable execute certificates (per-word fetch checks)")
+	force := flag.Bool("force", false, "overwrite an existing snapshot file")
+	baseline := flag.String("baseline", "", "compare instr/s against this committed snapshot and fail on drift")
+	tolerance := flag.Float64("tolerance", 50,
+		"with -baseline: max tolerated instr/s drop, percent (hardware varies, so keep it wide)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
+	isa.SetFusion(!*noFuse)
+	mem.SetExecCerts(!*noCert)
 	if *benchtime <= 0 {
 		fail(fmt.Errorf("-benchtime must be positive, got %v", *benchtime))
 	}
-	if *label == "" && *noCache {
-		// Keep ablation runs from clobbering the same-day baseline snapshot.
-		*label = "nodecodecache"
+	if *label == "" {
+		// Keep ablation runs from clobbering the same-day baseline snapshot;
+		// the auto-label names every active ablation so combined runs cannot
+		// masquerade as single-flag baselines.
+		var parts []string
+		if *noCache {
+			parts = append(parts, "nodecodecache")
+		}
+		if *noFuse {
+			parts = append(parts, "nofuse")
+		}
+		if *noCert {
+			parts = append(parts, "nocert")
+		}
+		*label = strings.Join(parts, "-")
 	}
 
 	snap := Snapshot{
 		Date:        time.Now().Format("2006-01-02"),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		DecodeCache: cpu.DecodeCacheEnabled(),
+		Fusion:      isa.FusionEnabled(),
+		ExecCerts:   mem.ExecCertsEnabled(),
 	}
 	for _, b := range benches {
 		res, err := measure(b, *benchtime)
@@ -88,6 +115,13 @@ func main() {
 			name += "-" + *label
 		}
 		path := filepath.Join(*outDir, name+".json")
+		if !*force {
+			// A same-day re-run would silently replace the numbers the last
+			// commit recorded — the bench-drift failure mode. Demand intent.
+			if _, err := os.Stat(path); err == nil {
+				fail(fmt.Errorf("%s already exists; pass -force to overwrite or -label to write a new file", path))
+			}
+		}
 		f, err := os.Create(path)
 		if err != nil {
 			fail(err)
@@ -100,6 +134,49 @@ func main() {
 	if err := enc.Encode(snap); err != nil {
 		fail(err)
 	}
+	if *baseline != "" {
+		if err := checkDrift(*baseline, snap, *tolerance); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// checkDrift compares each measured benchmark's instr/s against the
+// committed baseline snapshot, failing when any drops more than tol percent.
+// Absolute instr/s varies with host hardware, so the band is wide: the gate
+// exists to catch engine-sized regressions (a disabled cache, an accidental
+// O(n) fetch path), not single-digit noise.
+func checkDrift(path string, snap Snapshot, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[r.Name] = r
+	}
+	var drifted []string
+	for _, r := range snap.Benchmarks {
+		b, ok := baseBy[r.Name]
+		if !ok || b.InstrPerSec <= 0 {
+			continue
+		}
+		deltaPct := 100 * (r.InstrPerSec - b.InstrPerSec) / b.InstrPerSec
+		fmt.Fprintf(os.Stderr, "drift %-28s %+7.1f%% instr/s vs %s\n", r.Name, deltaPct, path)
+		if deltaPct < -tol {
+			drifted = append(drifted,
+				fmt.Sprintf("%s: %.0f instr/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+					r.Name, r.InstrPerSec, -deltaPct, b.InstrPerSec, tol))
+		}
+	}
+	if len(drifted) > 0 {
+		return fmt.Errorf("instr/s drifted below the tolerance band:\n  %s", strings.Join(drifted, "\n  "))
+	}
+	return nil
 }
 
 // bench is one named workload: setup returns an op closure that performs one

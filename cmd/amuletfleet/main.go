@@ -29,7 +29,9 @@ import (
 	"amuletiso/internal/cc"
 	"amuletiso/internal/cpu"
 	"amuletiso/internal/fleet"
+	"amuletiso/internal/isa"
 	"amuletiso/internal/kernel"
+	"amuletiso/internal/mem"
 )
 
 func main() {
@@ -48,9 +50,13 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON on stdout")
 	name := flag.String("name", "fleet", "scenario name recorded in the report")
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
+	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
+	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
+	isa.SetFusion(!*noFuse)
+	mem.SetExecCerts(!*noCert)
 
 	modes, err := parseModes(*modeName)
 	if err != nil {

@@ -19,6 +19,8 @@ import (
 	"amuletiso"
 	"amuletiso/internal/cc"
 	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
 )
 
 func main() {
@@ -28,9 +30,13 @@ func main() {
 	ms := flag.Uint64("ms", 10_000, "virtual milliseconds to run (kernel form)")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget (standalone form)")
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
+	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
+	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
+	isa.SetFusion(!*noFuse)
+	mem.SetExecCerts(!*noCert)
 
 	var mode cc.Mode
 	found := false

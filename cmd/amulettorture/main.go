@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
 	"amuletiso/internal/torture"
 )
 
@@ -48,9 +50,15 @@ func main() {
 	writeCorpus := flag.String("write-corpus", "", "regenerate the committed regression corpus into this directory and exit")
 	noCache := flag.Bool("nodecodecache", false,
 		"disable the predecoded instruction cache; campaigns must report identical bytes either way")
+	noFuse := flag.Bool("nofuse", false,
+		"disable superinstruction fusion; campaigns must report identical bytes either way")
+	noCert := flag.Bool("nocert", false,
+		"disable execute certificates (per-word fetch checks); campaigns must report identical bytes either way")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
+	isa.SetFusion(!*noFuse)
+	mem.SetExecCerts(!*noCert)
 
 	if *emit != 0 {
 		c := torture.BuildCase(*emitKind, *emit, false)

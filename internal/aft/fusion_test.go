@@ -1,0 +1,64 @@
+package aft
+
+import (
+	"testing"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/isa"
+)
+
+// TestGatePrologueFuses checks the firmware-level fusion target: every OS
+// gate's prologue (PUSH R4..R11) predecodes into a single 8-part push-run
+// superinstruction at the gate's entry, so every API call pays one dispatch
+// for its eight register saves.
+func TestGatePrologueFuses(t *testing.T) {
+	fw, err := Build([]AppSource{{Name: "a", Source: `
+void handle_event(int ev, int arg) { amulet_log_value(1, arg); }
+`}}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Text == nil || fw.Text.FusedHeads() == 0 {
+		t.Fatal("firmware text carries no fused superinstructions")
+	}
+	gates := 0
+	for _, api := range abi.API {
+		addr, ok := fw.Image.Sym(abi.SymGate(api.Name))
+		if !ok {
+			continue
+		}
+		gates++
+		e := fw.Text.At(addr)
+		if e == nil {
+			t.Fatalf("gate %s at 0x%04X has no cache slot", api.Name, addr)
+		}
+		if e.Fused == nil || e.Fused.Kind != isa.FusePushRun || len(e.Fused.Parts) != 8 {
+			t.Errorf("gate %s prologue not fused as an 8-part push run: %+v", api.Name, e.Fused)
+		}
+	}
+	if gates == 0 {
+		t.Fatal("no gate symbols found")
+	}
+}
+
+// TestBuildHonorsFusionSwitch mirrors the decode-cache build-time contract
+// for fusion: a firmware built under SetFusion(false) carries an unfused
+// cache even if the switch is re-enabled afterwards.
+func TestBuildHonorsFusionSwitch(t *testing.T) {
+	defer isa.SetFusion(true)
+	isa.SetFusion(false)
+	fw, err := Build([]AppSource{{Name: "a", Source: `
+void handle_event(int ev, int arg) { amulet_log_value(ev, arg); }
+`}}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isa.SetFusion(true)
+	if fw.Text == nil {
+		t.Fatal("no predecode cache")
+	}
+	if n := fw.Text.FusedHeads(); n != 0 {
+		t.Fatalf("firmware built with fusion off has %d fused heads", n)
+	}
+}

@@ -1,0 +1,95 @@
+package cc
+
+import (
+	"testing"
+
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+const fusionProbeSrc = `
+int g;
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 25; i++) {
+        if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+    }
+    g = s;
+    return s;
+}
+`
+
+// TestCompiledProgramsFuse checks CompileProgram's predecode cache carries
+// fused superinstructions for real compiled code (the loop conditions above
+// compile to CMP+Jcc pairs), and that isa.SetFusion(false) at build time
+// yields the same cache without any (the -nofuse escape hatch).
+func TestCompiledProgramsFuse(t *testing.T) {
+	defer isa.SetFusion(true)
+	build := func() *Program {
+		p, err := CompileProgram("fuseprobe", fusionProbeSrc, ProgramOptions{Mode: ModeMPU, EnableMPU: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	fused := build()
+	if fused.Text == nil || fused.Text.FusedHeads() == 0 {
+		t.Fatal("compiled program has no fused superinstructions")
+	}
+	isa.SetFusion(false)
+	plain := build()
+	if plain.Text == nil || plain.Text.FusedHeads() != 0 {
+		t.Fatalf("fusion disabled at build time, got %d fused heads", plain.Text.FusedHeads())
+	}
+	if fused.Text.Cached() != plain.Text.Cached() {
+		t.Fatalf("fusion changed the slot population: %d vs %d", fused.Text.Cached(), plain.Text.Cached())
+	}
+}
+
+// TestProgramEngineMatrixEquivalence runs one compiled program under the
+// full {fusion, certificates} matrix and asserts identical observable
+// results — the cc-level slice of the torture battery.
+func TestProgramEngineMatrixEquivalence(t *testing.T) {
+	defer func() {
+		isa.SetFusion(true)
+		mem.SetExecCerts(true)
+	}()
+	type outcome struct {
+		stop          cpu.StopReason
+		exit          uint16
+		cycles, insns uint64
+		r, w, f       uint64
+		viol          uint64
+	}
+	var results []outcome
+	for _, cfg := range []struct {
+		name        string
+		fuse, certs bool
+	}{
+		{"fused+certified", true, true},
+		{"fused+perword", true, false},
+		{"unfused+certified", false, true},
+		{"unfused+perword", false, false},
+	} {
+		isa.SetFusion(cfg.fuse)
+		mem.SetExecCerts(cfg.certs)
+		p, err := CompileProgram("fuseprobe", fusionProbeSrc, ProgramOptions{Mode: ModeMPU, EnableMPU: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Load()
+		stop, fault := m.Run(10_000_000)
+		if fault != nil {
+			t.Fatalf("%s: %v", cfg.name, fault)
+		}
+		r, w, f := m.Bus.Stats()
+		results = append(results, outcome{stop, m.CPU.ExitCode, m.CPU.Cycles, m.CPU.Insns, r, w, f, m.MPU.Violations()})
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("engine matrix diverged:\n  base: %+v\n  cfg %d: %+v", results[0], i, results[i])
+		}
+	}
+}

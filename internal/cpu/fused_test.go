@@ -1,0 +1,227 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// engineResult is the complete observable machine state after a run — the
+// fingerprint the fused and unfused engines must agree on bit for bit.
+type engineResult struct {
+	stop    StopReason
+	fault   string
+	regs    [isa.NumRegs]uint16
+	cycles  uint64
+	insns   uint64
+	reads   uint64
+	writes  uint64
+	fetches uint64
+	halted  bool
+	exit    uint16
+	trace   string
+}
+
+// runEngine assembles instrs at 0x4400, runs them under Run(budget) with or
+// without fusion (the decode cache is attached either way), and fingerprints
+// the result. prep, if non-nil, adjusts the fresh machine before Run.
+func runEngine(t *testing.T, fused bool, budget uint64, prep func(*CPU), instrs ...isa.Instr) engineResult {
+	t.Helper()
+	defer isa.SetFusion(true)
+	isa.SetFusion(fused)
+	bus := mem.NewBus()
+	c := New(bus)
+	addr := uint16(0x4400)
+	for _, in := range instrs {
+		for _, w := range isa.MustEncode(in) {
+			bus.Poke16(addr, w)
+			addr += 2
+		}
+	}
+	c.SetPC(0x4400)
+	c.SetSP(0x2400)
+	c.UseProgram(isa.Predecode(bus, []isa.TextRange{{Lo: 0x4400, Hi: addr}}))
+	trace := ""
+	bus.OnAccess = func(a mem.Access) {
+		trace += fmt.Sprintf("%v:%04X:%04X;", a.Kind, a.Addr, a.Value)
+	}
+	if prep != nil {
+		prep(c)
+	}
+	stop, fault := c.Run(budget)
+	r, w, f := bus.Stats()
+	res := engineResult{
+		stop: stop, regs: c.Regs, cycles: c.Cycles, insns: c.Insns,
+		reads: r, writes: w, fetches: f, halted: c.Halted, exit: c.ExitCode,
+		trace: trace,
+	}
+	if fault != nil {
+		res.fault = fault.Error()
+	}
+	return res
+}
+
+// compareEngines runs the program under both engines and fails on any
+// observable difference, including the full access trace.
+func compareEngines(t *testing.T, budget uint64, prep func(*CPU), instrs ...isa.Instr) {
+	t.Helper()
+	plain := runEngine(t, false, budget, prep, instrs...)
+	fused := runEngine(t, true, budget, prep, instrs...)
+	if plain.trace != fused.trace {
+		t.Errorf("budget %d: access traces diverge\n  plain: %s\n  fused: %s", budget, plain.trace, fused.trace)
+		plain.trace, fused.trace = "", ""
+	}
+	plain.trace, fused.trace = "", ""
+	if plain != fused {
+		t.Errorf("budget %d: state diverged\n  plain: %+v\n  fused: %+v", budget, plain, fused)
+	}
+}
+
+// loopProgram exercises every fusion pattern inside a loop: MOV#imm+ALU,
+// a PUSH pair, and the CMP+Jcc loop condition, then halts via the debug
+// port with R4 as the exit code.
+var loopProgram = []isa.Instr{
+	{Op: isa.MOV, Src: isa.Imm(0), Dst: isa.RegOp(isa.R4)}, // +ALU head
+	{Op: isa.ADD, Src: isa.Imm(0), Dst: isa.RegOp(isa.R6)},
+	// loop:
+	{Op: isa.MOV, Src: isa.Imm(3), Dst: isa.RegOp(isa.R5)}, // fused pair
+	{Op: isa.ADD, Src: isa.RegOp(isa.R5), Dst: isa.RegOp(isa.R4)},
+	{Op: isa.PUSH, Src: isa.RegOp(isa.R4)}, // fused run
+	{Op: isa.PUSH, Src: isa.RegOp(isa.R5)},
+	{Op: isa.CMP, Src: isa.Imm(60), Dst: isa.RegOp(isa.R4)}, // fused pair
+	{Op: isa.JL, Dst: isa.Operand{X: 0xFFF8}},               // -8 words, back to loop
+	{Op: isa.MOV, Src: isa.RegOp(isa.R4), Dst: isa.Abs(PortHalt)},
+}
+
+// TestFusedBudgetSweep runs the loop under every cycle budget from 0 to past
+// completion: each budget lands the stop at a different instruction — many
+// of them between the halves of a fused group — and the fused engine must
+// stop in exactly the same state the unfused one does (the watchdog-
+// mid-group property the kernel relies on).
+func TestFusedBudgetSweep(t *testing.T) {
+	for budget := uint64(0); budget <= 700; budget++ {
+		compareEngines(t, budget, nil, loopProgram...)
+		if t.Failed() {
+			t.Fatalf("first divergence at budget %d", budget)
+		}
+	}
+	// Sanity: the program actually completes and fuses.
+	res := runEngine(t, true, 1_000_000, nil, loopProgram...)
+	if !res.halted || res.exit != 60 {
+		t.Fatalf("loop did not complete: %+v", res)
+	}
+}
+
+// TestJumpIntoFusedPair pins the mid-group landing rule: a branch targeting
+// the SECOND half of a fused CMP+Jcc pair executes that half from its own
+// cache slot, identically on both engines.
+func TestJumpIntoFusedPair(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.MOV, Src: isa.Imm(5), Dst: isa.RegOp(isa.R4)},
+		{Op: isa.JMP, Dst: isa.Operand{X: 1}},                  // over the CMP, onto the JEQ
+		{Op: isa.CMP, Src: isa.Imm(0), Dst: isa.RegOp(isa.R4)}, // head of fused pair
+		{Op: isa.JEQ, Dst: isa.Operand{X: 1}},                  // landed on directly; Z=0, falls through
+		{Op: isa.MOV, Src: isa.Imm(0xAA), Dst: isa.RegOp(isa.R5)},
+		{Op: isa.MOV, Src: isa.RegOp(isa.R5), Dst: isa.Abs(PortHalt)},
+	}
+	// The pair must actually fuse, or this test pins nothing.
+	res := runEngine(t, true, 1_000_000, func(c *CPU) {
+		if c.Program().FusedHeads() == 0 {
+			t.Fatal("no fused heads in the probe program")
+		}
+	}, prog...)
+	if !res.halted || res.exit != 0xAA {
+		t.Fatalf("fall-through path not taken: %+v", res)
+	}
+	for budget := uint64(0); budget <= 40; budget++ {
+		compareEngines(t, budget, nil, prog...)
+	}
+}
+
+// TestInterruptBetweenFusedHalves enables GIE in the FIRST half of a fused
+// pair while an interrupt is pending: the unfused engine services it between
+// the two instructions, so the fused engine must split the group there.
+func TestInterruptBetweenFusedHalves(t *testing.T) {
+	const vec = 0xFFF2
+	prog := []isa.Instr{
+		{Op: isa.MOV, Src: isa.Imm(uint16(isa.FlagGIE)), Dst: isa.RegOp(isa.SR)}, // head; GIE on
+		{Op: isa.ADD, Src: isa.Imm(1), Dst: isa.RegOp(isa.R6)},                   // second half
+		{Op: isa.MOV, Src: isa.RegOp(isa.R6), Dst: isa.Abs(PortHalt)},
+	}
+	// ISR: bump R7, RETI. Placed right after the main program.
+	isr := []isa.Instr{
+		{Op: isa.ADD, Src: isa.Imm(1), Dst: isa.RegOp(isa.R7)},
+		{Op: isa.RETI},
+	}
+	all := append(append([]isa.Instr{}, prog...), isr...)
+	isrAddr := uint16(0x4400)
+	for _, in := range prog {
+		isrAddr += in.Size()
+	}
+	prep := func(c *CPU) {
+		c.Bus.Poke16(vec, isrAddr)
+		c.RequestInterrupt(vec)
+	}
+	for budget := uint64(0); budget <= 60; budget++ {
+		compareEngines(t, budget, prep, all...)
+	}
+	res := runEngine(t, true, 1_000_000, prep, all...)
+	if res.regs[isa.R7] != 1 {
+		t.Fatalf("ISR did not run exactly once: R7 = %d", res.regs[isa.R7])
+	}
+	if !res.halted || res.exit != 1 {
+		t.Fatalf("main line did not complete after the ISR: %+v", res)
+	}
+}
+
+// TestSelfModifyBetweenFusedHalves makes the first half of a fused PUSH run
+// overwrite the second half's bytes (SP aimed into the code): the unfused
+// engine live-decodes the NEW instruction; the fused engine must notice the
+// dirty span at the component boundary and do the same.
+func TestSelfModifyBetweenFusedHalves(t *testing.T) {
+	// Layout: PUSH R4 (2 bytes) at 0x4400, PUSH R5 at 0x4402, then halt.
+	// SP = 0x4404 makes the first push write 0x4402, replacing PUSH R5 with
+	// whatever R4 holds — we plant the encoding of MOV R4, R7.
+	patch := isa.MustEncode(isa.Instr{Op: isa.MOV, Src: isa.RegOp(isa.R4), Dst: isa.RegOp(isa.R7)})
+	if len(patch) != 1 {
+		t.Fatalf("patch instruction must be one word, got %d", len(patch))
+	}
+	prog := []isa.Instr{
+		{Op: isa.PUSH, Src: isa.RegOp(isa.R4)},
+		{Op: isa.PUSH, Src: isa.RegOp(isa.R5)},
+		{Op: isa.MOV, Src: isa.RegOp(isa.R7), Dst: isa.Abs(PortHalt)},
+	}
+	prep := func(c *CPU) {
+		c.SetSP(0x4404)
+		c.Regs[isa.R4] = patch[0]
+	}
+	for budget := uint64(0); budget <= 30; budget++ {
+		compareEngines(t, budget, prep, prog...)
+	}
+	res := runEngine(t, true, 1_000_000, prep, prog...)
+	if !res.halted || res.exit != patch[0] {
+		t.Fatalf("overwritten instruction did not execute: %+v", res)
+	}
+}
+
+// TestBareStepStaysSingleInstruction pins the Step contract: outside Run a
+// fused program still retires exactly one instruction per Step call, so
+// debuggers and existing step-lockstep tests keep their granularity.
+func TestBareStepStaysSingleInstruction(t *testing.T) {
+	defer isa.SetFusion(true)
+	isa.SetFusion(true)
+	c, _ := loadProgram(t, true, fetchProgram...)
+	if c.Program().FusedHeads() == 0 {
+		t.Fatal("fetchProgram should contain at least one fused head")
+	}
+	for i := range fetchProgram {
+		if f := c.Step(); f != nil {
+			t.Fatalf("step %d: %v", i, f)
+		}
+		if c.Insns != uint64(i+1) {
+			t.Fatalf("after %d bare Steps: %d instructions retired", i+1, c.Insns)
+		}
+	}
+}

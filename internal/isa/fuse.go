@@ -1,0 +1,186 @@
+package isa
+
+// Superinstruction fusion. The predecode pass sees whole text ranges, so it
+// can recognize instruction pairs (and runs) that always execute back to
+// back and staple them into one cached superinstruction: the CPU then pays
+// the per-step overhead (interrupt poll, cache lookup, dirty check, loop
+// iteration) once per group instead of once per instruction. Fusion changes
+// dispatch granularity only — each component still fetches, executes and
+// charges cycles exactly as the unfused engine would, and the CPU re-checks
+// every stop condition (pending interrupt, halt, CPUOFF, cycle budget,
+// overwritten text) at component boundaries, so the architectural trace is
+// bit-identical either way (the torture equivalence battery pins this).
+//
+// A fused group lives on the slot of its FIRST instruction; the component
+// slots keep their own single-instruction entries. A branch landing in the
+// middle of a group therefore just executes from that component's own slot —
+// fusion never changes what a PC means.
+
+import "sync/atomic"
+
+// fusionOff globally disables the fusion pass when set — the `-nofuse`
+// escape hatch the CLIs expose (mirroring `-nodecodecache`) so any run can
+// be replayed on the unfused engine for differential checks.
+var fusionOff atomic.Bool
+
+// SetFusion enables or disables superinstruction fusion process-wide. Like
+// cpu.SetDecodeCache it is consulted when a Program is built (Predecode), so
+// set it once, before building firmware, as the CLIs do; already-built
+// programs keep whatever fusion they were built with.
+func SetFusion(on bool) { fusionOff.Store(!on) }
+
+// FusionEnabled reports whether Predecode runs the fusion pass.
+func FusionEnabled() bool { return !fusionOff.Load() }
+
+// FuseKind names a fusion pattern, for introspection and test assertions.
+type FuseKind uint8
+
+// Fusion patterns: the pairs the torture corpus and the AFT's generated code
+// actually produce hot.
+const (
+	// FuseCmpJcc is a CMP (any operands) immediately followed by a
+	// conditional jump — the compiled form of every if/while/for condition.
+	FuseCmpJcc FuseKind = iota + 1
+	// FuseMovImmALU is a MOV #imm into a register (not PC) followed by any
+	// format-I ALU op — the "load constant, then use it" idiom the code
+	// generator emits for bounds checks and arithmetic.
+	FuseMovImmALU
+	// FusePushRun is a run of 2..8 consecutive PUSH Rn instructions — the
+	// OS gate prologue saving R4..R11 on every API call.
+	FusePushRun
+)
+
+// String names the pattern.
+func (k FuseKind) String() string {
+	switch k {
+	case FuseCmpJcc:
+		return "cmp+jcc"
+	case FuseMovImmALU:
+		return "movimm+alu"
+	case FusePushRun:
+		return "push-run"
+	}
+	return "?"
+}
+
+// maxPushRun caps FusePushRun length at the gate prologue's 8 registers.
+const maxPushRun = 8
+
+// FusedPart is one component of a fused group: its own decode, size and
+// cycle cost, charged individually so mid-group stops observe exactly the
+// unfused accounting.
+type FusedPart struct {
+	In   Instr
+	Size uint16 // encoded size in bytes
+	Cost uint16 // Cycles(In)
+}
+
+// Fused is a superinstruction: 2..maxPushRun components that are contiguous
+// in one text range. It hangs off the first component's cache slot.
+type Fused struct {
+	Kind  FuseKind
+	Size  uint16 // total encoded bytes of all parts
+	Parts []FusedPart
+	// Fast marks a pair whose HEAD is memory-free and control-safe: it
+	// cannot fault, write memory (so no device side effects, no code
+	// dirtying, no halt), or change GIE/CPUOFF. The CPU's combined pair
+	// executor then inlines the head and only re-checks the cycle budget at
+	// the component boundary — every other split condition is provably
+	// unreachable. The second component is unconstrained (it is last, so
+	// the ordinary per-instruction rules apply to it unchanged).
+	Fast bool
+}
+
+// fastHead reports whether in, as a fused-pair head, can neither touch
+// memory nor alter control state: CMP over registers/immediates (flags
+// only), or MOV #imm into a plain register (not PC — never a head — and not
+// SR, which could set GIE or CPUOFF mid-group).
+func fastHead(in Instr) bool {
+	switch in.Op {
+	case CMP:
+		return (in.Src.Mode == ModeRegister || in.Src.Mode == ModeImmediate) &&
+			in.Dst.Mode == ModeRegister
+	case MOV:
+		return in.Src.Mode == ModeImmediate && in.Dst.Mode == ModeRegister &&
+			in.Dst.Reg != PC && in.Dst.Reg != SR
+	}
+	return false
+}
+
+// fuse runs the fusion pass over every predecoded slot. Groups never cross a
+// text-range boundary: the gap between ranges is mutable data the code watch
+// does not guard.
+func (p *Program) fuse() {
+	for _, tr := range p.ranges {
+		for a := (tr.Lo + 1) &^ 1; a+1 < tr.Hi && a >= tr.Lo; a += 2 {
+			e := p.At(a)
+			if e == nil {
+				continue
+			}
+			if f := p.matchFuse(a, e, tr); f != nil {
+				e.Fused = f
+				p.fused++
+			}
+		}
+	}
+}
+
+// part converts a cache slot into a fused component.
+func part(e *CachedInstr) FusedPart { return FusedPart{In: e.In, Size: e.Size, Cost: e.Cost} }
+
+// matchFuse tries every fusion pattern with the instruction at addr as the
+// group head. Only the LAST component of a group may transfer control (Jcc,
+// or an ALU op writing PC): earlier components are restricted to shapes that
+// fall through, so execution always reaches every component sequentially.
+func (p *Program) matchFuse(addr uint16, head *CachedInstr, tr TextRange) *Fused {
+	// next returns the cacheable slot at a if its full encoding lies inside
+	// this text range, nil otherwise.
+	next := func(a uint16) *CachedInstr {
+		if a < tr.Lo || a >= tr.Hi {
+			return nil
+		}
+		e := p.At(a)
+		if e == nil || uint32(a)+uint32(e.Size) > uint32(tr.Hi) {
+			return nil
+		}
+		return e
+	}
+
+	in := head.In
+	switch {
+	case in.Op == CMP:
+		n := next(addr + head.Size)
+		if n != nil && n.In.Op.IsJump() {
+			return &Fused{Kind: FuseCmpJcc, Size: head.Size + n.Size,
+				Parts: []FusedPart{part(head), part(n)}, Fast: fastHead(in)}
+		}
+
+	case in.Op == MOV && in.Src.Mode == ModeImmediate &&
+		in.Dst.Mode == ModeRegister && in.Dst.Reg != PC:
+		// Dst may be any register but PC (a MOV #imm,PC is a jump, which
+		// would leave the group head mid-flight). SR is fine: a component
+		// that sets CPUOFF or GIE is caught by the CPU's boundary checks
+		// (such a pair just isn't Fast).
+		n := next(addr + head.Size)
+		if n != nil && n.In.Op.IsTwoOperand() {
+			return &Fused{Kind: FuseMovImmALU, Size: head.Size + n.Size,
+				Parts: []FusedPart{part(head), part(n)}, Fast: fastHead(in)}
+		}
+
+	case in.Op == PUSH && in.Src.Mode == ModeRegister:
+		parts := []FusedPart{part(head)}
+		a := addr + head.Size
+		for len(parts) < maxPushRun {
+			n := next(a)
+			if n == nil || n.In.Op != PUSH || n.In.Src.Mode != ModeRegister {
+				break
+			}
+			parts = append(parts, part(n))
+			a += n.Size
+		}
+		if len(parts) >= 2 {
+			return &Fused{Kind: FusePushRun, Size: a - addr, Parts: parts}
+		}
+	}
+	return nil
+}

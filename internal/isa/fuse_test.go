@@ -1,0 +1,180 @@
+package isa
+
+import "testing"
+
+// words flattens encoded instructions into a word slice readable at base.
+func assemble(t *testing.T, instrs ...Instr) (WordReaderFunc, uint16, uint16) {
+	t.Helper()
+	const base = 0x4400
+	var ws []uint16
+	for _, in := range instrs {
+		ws = append(ws, MustEncode(in)...)
+	}
+	end := base + uint16(len(ws))*2
+	r := func(addr uint16) uint16 {
+		idx := int(addr-base) >> 1
+		if idx < 0 || idx >= len(ws) {
+			return 0xFFFF
+		}
+		return ws[idx]
+	}
+	return r, base, end
+}
+
+func TestFusePatterns(t *testing.T) {
+	cases := []struct {
+		name   string
+		instrs []Instr
+		// wantAt maps head offsets (in bytes from base) to the expected
+		// pattern; offsets absent from the map must not head a group.
+		wantAt map[uint16]FuseKind
+		parts  map[uint16]int
+	}{
+		{
+			name: "cmp+jcc",
+			instrs: []Instr{
+				{Op: CMP, Src: Imm(60), Dst: RegOp(R4)}, // 2 words
+				{Op: JL, Dst: Operand{X: 0xFFFD}},       // backward jump
+				{Op: MOV, Src: RegOp(R4), Dst: RegOp(R5)},
+			},
+			wantAt: map[uint16]FuseKind{0: FuseCmpJcc},
+			parts:  map[uint16]int{0: 2},
+		},
+		{
+			name: "movimm+alu",
+			instrs: []Instr{
+				{Op: MOV, Src: Imm(3), Dst: RegOp(R5)},
+				{Op: ADD, Src: RegOp(R5), Dst: RegOp(R4)},
+				{Op: RETI},
+			},
+			wantAt: map[uint16]FuseKind{0: FuseMovImmALU},
+			parts:  map[uint16]int{0: 2},
+		},
+		{
+			name: "movimm to PC is a jump, not a head",
+			instrs: []Instr{
+				{Op: MOV, Src: Imm(0x4400), Dst: RegOp(PC)},
+				{Op: ADD, Src: RegOp(R5), Dst: RegOp(R4)},
+			},
+			wantAt: map[uint16]FuseKind{},
+		},
+		{
+			name: "push run caps at 8 and chains suffixes",
+			instrs: []Instr{
+				{Op: PUSH, Src: RegOp(R4)}, {Op: PUSH, Src: RegOp(R5)},
+				{Op: PUSH, Src: RegOp(R6)}, {Op: PUSH, Src: RegOp(R7)},
+				{Op: PUSH, Src: RegOp(R8)}, {Op: PUSH, Src: RegOp(R9)},
+				{Op: PUSH, Src: RegOp(R10)}, {Op: PUSH, Src: RegOp(R11)},
+				{Op: PUSH, Src: RegOp(R12)},
+				{Op: RETI},
+			},
+			wantAt: map[uint16]FuseKind{
+				0: FusePushRun, 2: FusePushRun, 4: FusePushRun, 6: FusePushRun,
+				8: FusePushRun, 10: FusePushRun, 12: FusePushRun, 14: FusePushRun,
+			},
+			parts: map[uint16]int{0: 8, 2: 8, 4: 7, 14: 2},
+		},
+		{
+			name: "push with non-register source breaks the run",
+			instrs: []Instr{
+				{Op: PUSH, Src: RegOp(R4)},
+				{Op: PUSH, Src: Imm(0x1234)},
+				{Op: RETI},
+			},
+			wantAt: map[uint16]FuseKind{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, base, end := assemble(t, tc.instrs...)
+			p := Predecode(r, []TextRange{{Lo: base, Hi: end}})
+			if p.FusedHeads() != len(tc.wantAt) {
+				t.Errorf("FusedHeads = %d, want %d", p.FusedHeads(), len(tc.wantAt))
+			}
+			for off := uint16(0); base+off < end; off += 2 {
+				e := p.At(base + off)
+				if e == nil {
+					continue
+				}
+				want, ok := tc.wantAt[off]
+				if !ok {
+					if e.Fused != nil {
+						t.Errorf("offset %d: unexpected %v group", off, e.Fused.Kind)
+					}
+					continue
+				}
+				if e.Fused == nil {
+					t.Errorf("offset %d: expected %v group, got none", off, want)
+					continue
+				}
+				if e.Fused.Kind != want {
+					t.Errorf("offset %d: kind %v, want %v", off, e.Fused.Kind, want)
+				}
+				if n, ok := tc.parts[off]; ok && len(e.Fused.Parts) != n {
+					t.Errorf("offset %d: %d parts, want %d", off, len(e.Fused.Parts), n)
+				}
+				// Group invariants: sizes and costs sum, components stay in
+				// range, and each component slot still caches individually so
+				// a PC landing mid-group executes normally.
+				var size uint16
+				a := base + off
+				for _, part := range e.Fused.Parts {
+					slot := p.At(a)
+					if slot == nil || slot.In != part.In || slot.Size != part.Size || slot.Cost != part.Cost {
+						t.Errorf("offset %d: component at 0x%04X disagrees with its own slot", off, a)
+					}
+					size += part.Size
+					a += part.Size
+				}
+				if size != e.Fused.Size {
+					t.Errorf("offset %d: Size %d != sum of parts %d", off, e.Fused.Size, size)
+				}
+				if uint32(base+off)+uint32(size) > uint32(end) {
+					t.Errorf("offset %d: group spills past the text range", off)
+				}
+			}
+		})
+	}
+}
+
+// TestFuseStopsAtRangeEnd checks a pair whose second half would spill past
+// the text range is not fused: the bytes beyond Hi are unwatched data.
+func TestFuseStopsAtRangeEnd(t *testing.T) {
+	r, base, end := assemble(t,
+		Instr{Op: CMP, Src: Imm(0), Dst: RegOp(R4)}, // 1 word (CG)
+		Instr{Op: JEQ, Dst: Operand{X: 1}},          // 1 word
+	)
+	// Full range: fuses.
+	p := Predecode(r, []TextRange{{Lo: base, Hi: end}})
+	if e := p.At(base); e == nil || e.Fused == nil {
+		t.Fatal("full range: expected a fused head")
+	}
+	// Range truncated before the jump: no fusion (and no cached slot for it).
+	p = Predecode(r, []TextRange{{Lo: base, Hi: end - 2}})
+	if e := p.At(base); e == nil || e.Fused != nil {
+		t.Fatal("truncated range: pair must not fuse across Hi")
+	}
+}
+
+// TestSetFusion checks the -nofuse escape hatch gates the pass at build
+// time, like the decode-cache switch.
+func TestSetFusion(t *testing.T) {
+	defer SetFusion(true)
+	r, base, end := assemble(t,
+		Instr{Op: CMP, Src: Imm(0), Dst: RegOp(R4)},
+		Instr{Op: JEQ, Dst: Operand{X: 1}},
+	)
+	SetFusion(false)
+	if FusionEnabled() {
+		t.Fatal("FusionEnabled after SetFusion(false)")
+	}
+	p := Predecode(r, []TextRange{{Lo: base, Hi: end}})
+	if p.FusedHeads() != 0 {
+		t.Fatalf("fusion disabled, got %d fused heads", p.FusedHeads())
+	}
+	SetFusion(true)
+	p = Predecode(r, []TextRange{{Lo: base, Hi: end}})
+	if p.FusedHeads() != 1 {
+		t.Fatalf("fusion enabled, got %d fused heads", p.FusedHeads())
+	}
+}

@@ -26,6 +26,10 @@ type CachedInstr struct {
 	In   Instr
 	Size uint16 // encoded size in bytes; 0 marks an uncacheable slot
 	Cost uint16 // Cycles(In), precomputed
+	// Fused, when non-nil, is the superinstruction headed by this slot
+	// (see fuse.go). The component slots keep their own entries, so a PC
+	// landing mid-group executes normally from its own slot.
+	Fused *Fused
 }
 
 // Program is a decode-once cache over an image's text ranges.
@@ -34,6 +38,7 @@ type Program struct {
 	ins    []CachedInstr
 	ranges []TextRange
 	cached int
+	fused  int
 }
 
 // Predecode decodes every word-aligned offset of the given text ranges
@@ -81,6 +86,9 @@ func Predecode(r WordReader, ranges []TextRange) *Program {
 			p.cached++
 		}
 	}
+	if FusionEnabled() {
+		p.fuse()
+	}
 	return p
 }
 
@@ -109,3 +117,7 @@ func (p *Program) Ranges() []TextRange { return append([]TextRange(nil), p.range
 // Cached returns how many instruction slots decoded successfully —
 // introspection for tests and tooling.
 func (p *Program) Cached() int { return p.cached }
+
+// FusedHeads returns how many slots head a fused superinstruction —
+// introspection for tests and tooling.
+func (p *Program) FusedHeads() int { return p.fused }

@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"amuletiso/internal/aft"
+	"amuletiso/internal/apps"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// buildSynthetic compiles the synthetic benchmark app with or without
+// fusion (a build-time property of the firmware's predecode cache).
+func buildSynthetic(t *testing.T, fused bool) *aft.Firmware {
+	t.Helper()
+	defer isa.SetFusion(true)
+	isa.SetFusion(fused)
+	fw, err := aft.Build([]aft.AppSource{apps.Synthetic().AFT()}, cc.ModeMPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// dispatchFingerprint boots a kernel, delivers EvInit plus one memory-ops
+// event under the given watchdog budget, and fingerprints everything the
+// engines must agree on: fault log, per-app accounting, CPU totals, MPU
+// violation count and the gate counter.
+func dispatchFingerprint(fw *aft.Firmware, budget uint64) string {
+	k := NewSeeded(fw, 7)
+	k.WatchdogBudget = budget
+	k.Policy = RestartPolicy{} // first fault is final: keep outcomes simple
+	k.Step()                   // EvInit
+	k.Post(0, apps.EvMemOps, 40, 0)
+	k.Step()
+	fp := fmt.Sprintf("cycles=%d insns=%d gates=%d viol=%d dispatches=%d appcycles=%d alive=%v",
+		k.CPU.Cycles, k.CPU.Insns, k.GateCount(), k.MPU.Violations(),
+		k.Apps[0].Dispatches, k.Apps[0].Cycles, k.Apps[0].Alive)
+	for _, f := range k.Faults {
+		fp += fmt.Sprintf(";fault(%d,%d,%s,%v)", f.App, f.AtMS, f.Reason, f.Class)
+	}
+	return fp
+}
+
+// TestKernelEngineMatrix runs the same kernel workload under the
+// {fusion, certificates} matrix and demands identical dispatch results —
+// the kernel-level gate-boundary recertification property: the Go-side
+// osPlan() Configure and the gates' own MPU register writes both advance the
+// certificate generation, so certified execution across gate transitions
+// must be invisible.
+func TestKernelEngineMatrix(t *testing.T) {
+	defer mem.SetExecCerts(true)
+	fwFused := buildSynthetic(t, true)
+	fwPlain := buildSynthetic(t, false)
+	if fwFused.Text.FusedHeads() == 0 {
+		t.Fatal("fused firmware has no superinstructions")
+	}
+
+	ref := ""
+	for _, cfg := range []struct {
+		name  string
+		fw    *aft.Firmware
+		certs bool
+	}{
+		{"fused+certified", fwFused, true},
+		{"fused+perword", fwFused, false},
+		{"unfused+certified", fwPlain, true},
+		{"unfused+perword", fwPlain, false},
+	} {
+		mem.SetExecCerts(cfg.certs)
+		fp := dispatchFingerprint(cfg.fw, 50_000_000)
+		if ref == "" {
+			ref = fp
+			continue
+		}
+		if fp != ref {
+			t.Errorf("%s diverged:\n  want %s\n  got  %s", cfg.name, ref, fp)
+		}
+	}
+}
+
+// TestKernelWatchdogBudgetSweep lands the watchdog at every point of a
+// dispatch — including inside the gates' fused PUSH runs and between the
+// halves of fused pairs — and demands the fused engine dies exactly where
+// the unfused one does: same fault log, same cycle totals, same MPU state.
+func TestKernelWatchdogBudgetSweep(t *testing.T) {
+	defer mem.SetExecCerts(true)
+	fwFused := buildSynthetic(t, true)
+	fwPlain := buildSynthetic(t, false)
+	budgets := []uint64{0, 1, 2, 3, 5, 7, 11, 19, 31, 53, 89, 144, 233, 377,
+		610, 987, 1597, 2584, 4181, 6765, 10946, 17711, 28657}
+	for _, b := range budgets {
+		mem.SetExecCerts(true)
+		fused := dispatchFingerprint(fwFused, b)
+		plain := dispatchFingerprint(fwPlain, b)
+		if fused != plain {
+			t.Fatalf("budget %d: engines diverged\n  fused: %s\n  plain: %s", b, fused, plain)
+		}
+		// And the certificate must not change where the watchdog lands.
+		mem.SetExecCerts(false)
+		if perword := dispatchFingerprint(fwFused, b); perword != fused {
+			t.Fatalf("budget %d: certificates changed the watchdog point\n  cert: %s\n  perword: %s",
+				b, fused, perword)
+		}
+	}
+}

@@ -341,6 +341,10 @@ func (k *Kernel) timeMS() uint64 {
 }
 
 // osPlan forces the MPU back to the OS plan (Go-side, models the PUC path).
+// Like the gates' own MPU register writes, Configure advances the MPU's
+// certificate generation, so the bus's execute certificate is re-validated
+// at every gate boundary and event delivery — certified fast-path fetches
+// can never outlive the plan that certified them.
 func (k *Kernel) osPlan() {
 	if k.FW.Mode == cc.ModeMPU {
 		k.MPU.Configure(k.FW.OSPlanB1, k.FW.OSPlanB2, k.FW.OSPlanSAM, true)

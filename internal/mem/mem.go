@@ -10,7 +10,24 @@
 // MPU+compiler design. Those coverage holes are architectural constants here.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// execCertsOff globally disables the execute-certificate fast path when set:
+// every FetchWords takes the per-word oracle. The equivalence test battery
+// toggles it to assert the certified and per-word engines are observably
+// identical.
+var execCertsOff atomic.Bool
+
+// SetExecCerts enables or disables the execute-certificate fast path
+// process-wide. Unlike the fusion and decode-cache switches it is consulted
+// on every fetch, so it may be toggled between runs without rebuilding.
+func SetExecCerts(on bool) { execCertsOff.Store(!on) }
+
+// ExecCertsEnabled reports whether FetchWords may use execute certificates.
+func ExecCertsEnabled() bool { return !execCertsOff.Load() }
 
 // MSP430FR5969-style memory map. All bounds are inclusive.
 const (
@@ -113,6 +130,25 @@ type Checker interface {
 	CheckAccess(a Access) *Violation
 }
 
+// ExecCertifier is a Checker that can prove execute permission over whole
+// spans, letting FetchWords hoist the per-word execute check out of the
+// fetch path (the "fast execute-only memory" trick: enforcement moves to
+// plan-change time without weakening the guarantee). Implementations must
+// keep both methods pure — in particular, CertifyExecute-style queries must
+// not latch violation state the way CheckAccess does.
+type ExecCertifier interface {
+	Checker
+	// ExecSpan returns the maximal span [lo, hi) containing addr for which
+	// every instruction fetch is allowed under the current configuration
+	// (empty when addr itself is not executable). hi is a uint32 so a span
+	// may run through the top of the address space (hi = 0x10000).
+	ExecSpan(addr uint16) (lo uint16, hi uint32)
+	// ExecGen is a generation counter that advances on every configuration
+	// change that could alter ExecSpan's answer. A certificate is valid
+	// only while the generation it was issued at is current.
+	ExecGen() uint64
+}
+
 // Bus is the CPU-visible memory system.
 //
 // The zero value is not usable; call NewBus.
@@ -131,6 +167,18 @@ type Bus struct {
 	codeRanges  []CodeRange
 	codePages   [numPages]bool
 	onCodeWrite func(lo, hi uint16)
+
+	// Execute-certificate state (see FetchWords). certLo/certHi is the span
+	// the checker last certified execute-allowed end to end, certGen the
+	// checker generation it was issued at. certChecker/certEC cache the
+	// Checker's identity and its ExecCertifier view so the per-fetch cost of
+	// a checker swap is one interface compare. A write into watched code
+	// empties the span (content invalidation); the next plan change
+	// (generation bump) re-certifies.
+	certLo, certHi uint32
+	certGen        uint64
+	certChecker    Checker
+	certEC         ExecCertifier
 
 	// Checker, if non-nil, vets every data access and instruction fetch.
 	Checker Checker
@@ -198,6 +246,10 @@ func (b *Bus) deviceAtLinear(addr uint16) Device {
 // At most one watch is active; the CPU owns it (see cpu.UseProgram).
 func (b *Bus) WatchCode(ranges []CodeRange, fn func(lo, hi uint16)) {
 	b.codePages = [numPages]bool{}
+	// A new watch means a new (or detached) predecode cache: restart
+	// certification from scratch so the next certified fetch re-validates.
+	b.DropExecCert()
+	b.certGen = ^uint64(0)
 	if fn == nil {
 		b.codeRanges, b.onCodeWrite = nil, nil
 		return
@@ -238,6 +290,11 @@ func (b *Bus) touchCode(lo, hi uint16) {
 		if r.Hi <= r.Lo || hi < r.Lo || lo >= r.Hi {
 			continue
 		}
+		// Content invalidation: a write into watched text also voids the
+		// execute certificate until the next plan change re-validates, so
+		// self-modifying and adversarial pokes always fall back to the
+		// per-word oracle alongside the live decoder.
+		b.DropExecCert()
 		clo, chi := lo, hi
 		if clo < r.Lo {
 			clo = r.Lo
@@ -383,6 +440,47 @@ func (b *Bus) immutable(addr uint16) *Violation {
 	return nil
 }
 
+// execCertified reports whether the instruction fetch [addr, addr+size) is
+// covered by a valid execute certificate, re-validating lazily: on a checker
+// swap the cached identity refreshes, and on a generation change (an MPU
+// plan change — gate code rewriting the registers, or the kernel's Go-side
+// Configure) the certifier is asked once for the maximal allowed span around
+// addr. Between plan changes the per-fetch cost is two compares and one
+// interface call.
+func (b *Bus) execCertified(addr, size uint16) bool {
+	if b.Checker != b.certChecker {
+		b.certChecker = b.Checker
+		b.certEC, _ = b.Checker.(ExecCertifier)
+		b.certGen = ^uint64(0)
+		b.certLo, b.certHi = 1, 0
+	}
+	ec := b.certEC
+	if ec == nil {
+		// With no checker at all every fetch is allowed; any other checker
+		// kind cannot certify and always takes the per-word oracle.
+		return b.Checker == nil
+	}
+	if g := ec.ExecGen(); g != b.certGen {
+		b.certGen = g
+		lo, hi := ec.ExecSpan(addr)
+		b.certLo, b.certHi = uint32(lo), hi
+	}
+	a := uint32(addr)
+	return a >= b.certLo && a+uint32(size) <= b.certHi
+}
+
+// DropExecCert empties the certified execute span without touching the
+// generation, forcing per-word checks until the next plan change
+// re-certifies. The code watch calls it on any write into watched text;
+// exported for tests and tooling.
+func (b *Bus) DropExecCert() { b.certLo, b.certHi = 1, 0 }
+
+// ExecCert returns the current certified execute span and whether it is
+// non-empty — introspection for the certificate-invalidation tests.
+func (b *Bus) ExecCert() (lo, hi uint32, ok bool) {
+	return b.certLo, b.certHi, b.certHi > b.certLo
+}
+
 // Fetch16 performs a checked instruction-word fetch.
 func (b *Bus) Fetch16(addr uint16) (uint16, *Violation) {
 	a := Access{Addr: align(addr), Kind: Execute}
@@ -399,7 +497,25 @@ func (b *Bus) Fetch16(addr uint16) (uint16, *Violation) {
 // and counted exactly as a Fetch16 would, stopping at the first violation,
 // but the memory re-read (the bits are already decoded) is skipped unless a
 // profiling hook needs the fetched value.
+//
+// Inside a valid execute certificate (a span the Checker has proven
+// execute-allowed end to end, see ExecCertifier) the per-word checks are
+// skipped entirely: no access in the span can be denied, so only the fetch
+// counter advances — observably identical to the per-word path, which is
+// kept below as the enforcement oracle and still serves profiled runs
+// (OnAccess needs per-word values), uncertifiable checkers, dropped
+// certificates and spans the certifier refuses.
 func (b *Bus) FetchWords(addr, size uint16) *Violation {
+	if b.OnAccess == nil && !execCertsOff.Load() && b.execCertified(addr, size) {
+		b.fetches += uint64(size >> 1)
+		return nil
+	}
+	return b.fetchWordsOracle(addr, size)
+}
+
+// fetchWordsOracle is the always-correct per-word fetch path the
+// certificate fast path is tested against.
+func (b *Bus) fetchWordsOracle(addr, size uint16) *Violation {
 	for off := uint16(0); off < size; off += 2 {
 		a := Access{Addr: addr + off, Kind: Execute}
 		if v := b.check(a); v != nil {

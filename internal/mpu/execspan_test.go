@@ -1,0 +1,135 @@
+package mpu
+
+import (
+	"testing"
+
+	"amuletiso/internal/mem"
+)
+
+// TestExecSpanAgreesWithCheckAccess sweeps the entire address space under a
+// grid of configurations — both capabilities, plans with execute-only,
+// no-execute and open segments, degenerate boundaries — and asserts, for
+// every word, that ExecSpan's answer agrees with the CheckAccess enforcement
+// oracle and that the returned span is maximal.
+func TestExecSpanAgreesWithCheckAccess(t *testing.T) {
+	type config struct {
+		name    string
+		cap     Capability
+		b1, b2  uint16
+		sam     uint16
+		enabled bool
+	}
+	configs := []config{
+		{"disabled", CapabilityFR5969, 0x5000, 0x6000, 0, false},
+		{"app-plan", CapabilityFR5969, 0x5000, 0x5400,
+			RWX(1, false, false, true) | RWX(2, true, true, false), true},
+		{"os-plan", CapabilityFR5969, 0x4800, 0x6000,
+			RWX(1, false, false, true) | RWX(2, true, true, false) | RWX(3, true, true, false), true},
+		{"all-exec", CapabilityFR5969, 0x5000, 0x6000, 0x7777, true},
+		{"none-exec", CapabilityFR5969, 0x5000, 0x6000, 0x3333, true},
+		{"infomem-exec-only", CapabilityFR5969, 0x8000, 0xC000, RWX(0, false, false, true), true},
+		{"degenerate-b1-above-b2", CapabilityFR5969, 0xC000, 0x4800,
+			RWX(1, false, false, true) | RWX(3, false, false, true), true},
+		{"boundaries-below-fram", CapabilityFR5969, 0x0000, 0x0400,
+			RWX(3, false, false, true), true},
+		{"advanced-app-plan", CapabilityAdvanced, 0x5000, 0x5400,
+			RWX(1, false, false, true) | RWX(2, true, true, false), true},
+		{"advanced-none", CapabilityAdvanced, 0x5000, 0x6000, 0, true},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			u := New()
+			u.Cap = cfg.cap
+			u.Configure(cfg.b1, cfg.b2, cfg.sam, cfg.enabled)
+
+			// Enforcement oracle: per-word CheckAccess (latching is fine on a
+			// dedicated unit; it never changes permissions).
+			allowed := make([]bool, 1<<15)
+			for i := range allowed {
+				addr := uint16(i) << 1
+				allowed[i] = u.CheckAccess(mem.Access{Addr: addr, Kind: mem.Execute}) == nil
+			}
+
+			for i := range allowed {
+				addr := uint16(i) << 1
+				lo, hi := u.ExecSpan(addr)
+				inSpan := uint32(addr) >= uint32(lo) && uint32(addr) < hi
+				if inSpan != allowed[i] {
+					t.Fatalf("addr %#x: ExecSpan [%#x,%#x) says %v, CheckAccess says %v",
+						addr, lo, hi, inSpan, allowed[i])
+				}
+				if !allowed[i] {
+					continue
+				}
+				// Every word of the span must be allowed (soundness) — walked
+				// once per span, from its left edge.
+				if addr == lo {
+					for a := uint32(lo); a < hi; a += 2 {
+						if !allowed[a>>1] {
+							t.Fatalf("addr %#x: span [%#x,%#x) contains denied word %#x", addr, lo, hi, a)
+						}
+					}
+				}
+				// …and the span must be maximal (completeness), or gates
+				// would pay oracle fetches inside provably-safe text.
+				if lo >= 2 && allowed[(uint32(lo)-2)>>1] {
+					t.Fatalf("addr %#x: span [%#x,%#x) not maximal on the left", addr, lo, hi)
+				}
+				if hi < 0x10000 && allowed[hi>>1] {
+					t.Fatalf("addr %#x: span [%#x,%#x) not maximal on the right", addr, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestExecGen pins which operations advance the certificate generation:
+// configuration changes do, violation latching and rejected writes do not.
+func TestExecGen(t *testing.T) {
+	u := New()
+	g := u.ExecGen()
+
+	// Rejected register writes (bad password, locked unit) leave it alone.
+	u.WriteWord(RegCTL0, CtlEnable) // missing password
+	if u.ExecGen() != g {
+		t.Fatal("rejected CTL0 write bumped the generation")
+	}
+	u.WriteWord(RegCTL0, Password|CtlEnable)
+	if u.ExecGen() == g {
+		t.Fatal("enable did not bump the generation")
+	}
+	g = u.ExecGen()
+
+	u.WriteWord(RegSEGB1, 0x5000)
+	u.WriteWord(RegSEGB2, 0x6000)
+	u.WriteWord(RegSAM, 0x0777)
+	if u.ExecGen() != g+3 {
+		t.Fatalf("three boundary/rights writes bumped gen by %d, want 3", u.ExecGen()-g)
+	}
+	g = u.ExecGen()
+
+	// Violation latching is not a configuration change (InfoMem has no
+	// execute right under SAM 0x0777).
+	if v := u.CheckAccess(mem.Access{Addr: 0x1800, Kind: mem.Execute}); v == nil {
+		t.Fatal("expected a violation to latch")
+	}
+	u.WriteWord(RegCTL1, 0) // clear flags
+	if u.ExecGen() != g {
+		t.Fatal("violation latch or flag clear bumped the generation")
+	}
+
+	// Go-side Configure is a plan change like any other.
+	u.Configure(0x4800, 0x9000, 0x7777, true)
+	if u.ExecGen() == g {
+		t.Fatal("Configure did not bump the generation")
+	}
+	g = u.ExecGen()
+
+	// A locked unit rejects (and must not bump).
+	u.WriteWord(RegCTL0, Password|CtlEnable|CtlLock)
+	g = u.ExecGen()
+	u.WriteWord(RegSEGB1, 0x4400)
+	if u.ExecGen() != g {
+		t.Fatal("locked boundary write bumped the generation")
+	}
+}

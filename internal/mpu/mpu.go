@@ -132,6 +132,23 @@ type Unit struct {
 	segB2 uint16
 	sam   uint16
 
+	// gen counts configuration changes (boundaries, rights, enable state) —
+	// the generation the bus's execute certificate is pinned to. Violation
+	// latching does not bump it: latched flags never change what an access
+	// is allowed to do.
+	gen uint64
+
+	// spanCache memoizes the execute-allowed run list per configuration.
+	// Gate-heavy workloads alternate between two plans (the OS plan and the
+	// running app's plan), and every register write of a plan switch
+	// triggers a certificate re-span — including the intermediate
+	// configurations mid-switch (boundary 1 written, boundary 2 still old),
+	// which recur on every switch. Recomputing runs each time showed up at
+	// ~16% of fleet wall time; eight memo slots hold both stable plans plus
+	// every recurring intermediate, making the steady state pure compares.
+	spanCache [8]execRuns
+	spanNext  int
+
 	// OnViolation, if set, is invoked after a violation flag latches.
 	OnViolation func(v *mem.Violation)
 
@@ -173,6 +190,7 @@ func (u *Unit) WriteWord(addr uint16, v uint16) {
 			return
 		}
 		u.ctl0 = v & (CtlEnable | CtlLock)
+		u.gen++
 		return
 	}
 	if u.ctl0&CtlLock != 0 {
@@ -182,13 +200,16 @@ func (u *Unit) WriteWord(addr uint16, v uint16) {
 	}
 	switch addr {
 	case RegCTL1:
-		u.ctl1 &= v // write-0-to-clear
+		u.ctl1 &= v // write-0-to-clear: flags only, no permission change
 	case RegSEGB2:
 		u.segB2 = v &^ (Granularity - 1)
+		u.gen++
 	case RegSEGB1:
 		u.segB1 = v &^ (Granularity - 1)
+		u.gen++
 	case RegSAM:
 		u.sam = v
+		u.gen++
 	}
 }
 
@@ -215,6 +236,7 @@ func (u *Unit) Configure(b1, b2, sam uint16, enable bool) {
 	} else {
 		u.ctl0 &^= CtlEnable
 	}
+	u.gen++
 }
 
 // segmentOf classifies an address: 0 = InfoMem, 1..3 = main segments,
@@ -305,6 +327,112 @@ func (u *Unit) CheckAccess(a mem.Access) *mem.Violation {
 		u.OnViolation(v)
 	}
 	return v
+}
+
+// execAllowed reports whether an instruction fetch from addr would be
+// permitted under the current configuration, WITHOUT latching violation
+// flags — the pure query behind execute certification. It must agree with
+// CheckAccess on every address (mpu tests assert this); CheckAccess stays
+// the enforcement oracle.
+func (u *Unit) execAllowed(addr uint16) bool {
+	if !u.Enabled() {
+		return true
+	}
+	seg := u.segmentOf(addr)
+	if seg < 0 {
+		return true // outside coverage: the modeled hardware hole
+	}
+	return u.segBits(seg)&4 != 0
+}
+
+// ExecGen implements mem.ExecCertifier: the configuration generation an
+// execute certificate is valid for. Every boundary, rights or enable change
+// — register-protocol writes from gate code and Go-side Configure calls
+// alike — advances it, which is what forces the bus to re-validate its
+// certified span at plan changes.
+func (u *Unit) ExecGen() uint64 { return u.gen }
+
+// execRuns is one memoized span computation: the configuration it was built
+// under and the maximal execute-allowed runs it yields (at most 5 denied
+// regions exist, so at most 6 runs).
+type execRuns struct {
+	b1, b2, sam uint16
+	ctl0        uint16
+	cap         Capability
+	valid       bool
+	n           int
+	lo, hi      [8]uint32 // runs [lo, hi), ascending
+}
+
+// ExecSpan implements mem.ExecCertifier: the maximal span [lo, hi)
+// containing addr for which every instruction fetch is allowed under the
+// current configuration, or the empty span when addr itself is not
+// executable. hi is a uint32 so the span may extend through 0xFFFF
+// (hi = 0x10000). Run lists are memoized per configuration (see spanCache).
+func (u *Unit) ExecSpan(addr uint16) (uint16, uint32) {
+	if !u.Enabled() {
+		return 0, 0x10000
+	}
+	runs := u.runsForConfig()
+	a := uint32(addr)
+	for i := 0; i < runs.n; i++ {
+		if a >= runs.lo[i] && a < runs.hi[i] {
+			return uint16(runs.lo[i]), runs.hi[i]
+		}
+	}
+	return addr, uint32(addr)
+}
+
+// runsForConfig returns the memoized run list for the current
+// configuration, computing and caching it on miss.
+func (u *Unit) runsForConfig() *execRuns {
+	for i := range u.spanCache {
+		r := &u.spanCache[i]
+		if r.valid && r.b1 == u.segB1 && r.b2 == u.segB2 && r.sam == u.sam &&
+			r.ctl0 == u.ctl0 && r.cap == u.Cap {
+			return r
+		}
+	}
+	r := &u.spanCache[u.spanNext]
+	u.spanNext = (u.spanNext + 1) % len(u.spanCache)
+	*r = execRuns{b1: u.segB1, b2: u.segB2, sam: u.sam, ctl0: u.ctl0, cap: u.Cap, valid: true}
+
+	// Permission is piecewise-constant between these cut points: the fixed
+	// region map plus the two configurable boundaries. Extra cut points
+	// inside a uniform region are harmless (both halves evaluate the same),
+	// so the boundaries need no clamping.
+	cuts := [16]uint32{
+		0,
+		uint32(mem.InfoLo), uint32(mem.InfoHi) + 1,
+		uint32(mem.FRAMLo), uint32(mem.FRAMHi) + 1,
+		uint32(mem.VectLo),
+		uint32(mem.DebugLo), uint32(mem.DebugHi) + 1,
+		uint32(u.segB1), uint32(u.segB2),
+		0x10000,
+	}
+	n := 11
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	// Merge consecutive allowed intervals into maximal runs.
+	for i := 0; i+1 < n; i++ {
+		ilo, ihi := cuts[i], cuts[i+1]
+		if ihi <= ilo || ilo >= 0x10000 {
+			continue
+		}
+		if !u.execAllowed(uint16(ilo)) {
+			continue
+		}
+		if r.n > 0 && r.hi[r.n-1] == ilo {
+			r.hi[r.n-1] = ihi // extends the previous run
+			continue
+		}
+		r.lo[r.n], r.hi[r.n] = ilo, ihi
+		r.n++
+	}
+	return r
 }
 
 func (u *Unit) segmentName(seg int) string {

@@ -51,11 +51,105 @@ func LoadCorpus(dir string) ([]*Case, error) {
 	return cases, nil
 }
 
+// fusionCorpusCases are hand-written fusion-boundary regressions: programs
+// whose compiled form is dense in fusion candidates (CMP+Jcc condition
+// ladders, MOV#imm+ALU constant arithmetic, call-heavy PUSH traffic) with
+// branch and call-return targets landing throughout the fused regions —
+// including on the second halves of fused pairs. They replay as ordinary
+// differential cases, and TestCorpusReplayAcrossEngines additionally replays
+// every corpus case under the full {fused, unfused} × {certified, per-word}
+// matrix, which is what locks these shapes down. (The deterministic
+// jump-to-the-exact-second-half and gate/watchdog-mid-group cases live in
+// internal/cpu and internal/kernel, where instruction layout is controlled
+// by hand.)
+var fusionCorpusCases = []struct {
+	name, note, source string
+	restricted         bool
+}{
+	{
+		name: "fuse-00-branch-ladder",
+		note: "fusion boundary: if/else ladders compile to CMP+Jcc chains whose taken branches land between fusion candidates",
+		source: `int g0;
+int g1;
+int main() {
+    int i; int acc; int j;
+    acc = 0;
+    for (i = 0; i < 29; i++) {
+        if (i % 3 == 1) { acc = acc + i; } else {
+            if (i % 5 == 0) { acc = acc + 2; } else { acc = acc - 1; }
+        }
+        j = 0;
+        while (j < (i % 4)) { acc = acc + j; j = j + 1; }
+    }
+    g0 = acc;
+    g1 = i * 3;
+    return acc + g1;
+}
+`,
+	},
+	{
+		name: "fuse-01-compare-dense",
+		note: "fusion boundary: back-to-back comparisons against constants, re-entered from call returns",
+		source: `int g0;
+int cmp3(int a, int b) {
+    if (a < b) { return 0 - 1; }
+    if (a > b) { return 1; }
+    return 0;
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0 - 6; i < 7; i++) {
+        s = s + cmp3(i, 0) * 4 + cmp3(i, 3);
+        if (s == 2) { s = s + 9; }
+        if (s != 2) { s = s - 1; }
+    }
+    g0 = s;
+    return s;
+}
+`,
+	},
+	{
+		name: "fuse-02-push-recursion",
+		note: "fusion boundary: recursive calls exercise PUSH runs and returns landing after fused prologues",
+		source: `int g0;
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    g0 = fib(9);
+    return g0 + fib(5);
+}
+`,
+	},
+	{
+		name:       "fuse-03-restricted-array-loop",
+		note:       "fusion boundary: restricted-dialect array loop, MOV#imm+ALU bounds arithmetic under all four modes",
+		restricted: true,
+		source: `int g0;
+int a[8];
+int main() {
+    int i; int t;
+    t = 1;
+    for (i = 0; i < 8; i++) {
+        a[i] = t;
+        t = t + a[i % 4];
+        while (t > 19) { t = t - 13; }
+    }
+    g0 = t;
+    return a[7] + t;
+}
+`,
+	},
+}
+
 // BuildCorpus deterministically regenerates the committed corpus into dir:
 // a slice of differential programs straight from the generator, plus
 // adversarial and hosted reproducers shrunk to their minimal trapping form
-// (the predicate preserves the full per-mode layer attribution). Returns
-// the written case names.
+// (the predicate preserves the full per-mode layer attribution), plus the
+// hand-written fusion-boundary regressions above. Returns the written case
+// names.
 func BuildCorpus(dir string, seed uint64) ([]string, error) {
 	var names []string
 	write := func(c *Case) error {
@@ -121,6 +215,25 @@ func BuildCorpus(dir string, seed uint64) ([]string, error) {
 			}
 			seen[c.Attack.Kind]++
 			n++
+		}
+	}
+
+	// Fusion-boundary regressions: hand-written, validated before writing so
+	// a dialect or generator change cannot silently commit a failing case.
+	for _, fc := range fusionCorpusCases {
+		c := &Case{
+			Name:       fc.name,
+			Kind:       KindDifferential,
+			Seed:       seed,
+			Restricted: fc.restricted,
+			Source:     fc.source,
+			Note:       fc.note,
+		}
+		if out := Execute(c); !out.Pass {
+			return nil, fmt.Errorf("torture: fusion corpus case %s fails: %s", c.Name, out.Reason)
+		}
+		if err := write(c); err != nil {
+			return nil, err
 		}
 	}
 	return names, nil

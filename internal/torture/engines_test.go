@@ -1,0 +1,248 @@
+package torture
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"testing"
+
+	"amuletiso/internal/abi"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// engineCfg is one cell of the {fusion, certificates} matrix the battery
+// sweeps. Fusion is a build-time property (it shapes the predecode cache),
+// certificates a run-time one (they shape the fetch path).
+type engineCfg struct {
+	name        string
+	fuse, certs bool
+}
+
+var engineMatrix = []engineCfg{
+	{"fused+certified", true, true},
+	{"fused+perword", true, false},
+	{"unfused+certified", false, true},
+	{"unfused+perword", false, false},
+}
+
+// resetEngines restores the production configuration.
+func resetEngines() {
+	isa.SetFusion(true)
+	mem.SetExecCerts(true)
+}
+
+// engineFP is everything one standalone run exposes: exit state, cycle and
+// instruction counts, bus statistics, MPU violation state, final global
+// bytes, and (when collected) a hash of the complete access trace.
+type engineFP struct {
+	stop    cpu.StopReason
+	fault   string
+	exit    uint16
+	cycles  uint64
+	insns   uint64
+	r, w, f uint64
+	viol    uint64
+	flags   uint16
+	globals string
+	trace   uint64
+}
+
+// fingerprintStandalone compiles src under one engine configuration and runs
+// it to completion. withTrace attaches a bus profiling hook hashing every
+// access in order (which lawfully bypasses the certificate fast path, so
+// trace comparisons exercise fusion while stats comparisons exercise both).
+func fingerprintStandalone(t *testing.T, src string, mode cc.Mode, cfg engineCfg, withTrace bool) engineFP {
+	t.Helper()
+	defer resetEngines()
+	isa.SetFusion(cfg.fuse)
+	mem.SetExecCerts(cfg.certs)
+
+	p, err := cc.CompileProgram(unitName, src, cc.ProgramOptions{
+		Mode: mode, EnableMPU: mode == cc.ModeMPU,
+	})
+	if err != nil {
+		t.Fatalf("%v/%s: %v\n%s", mode, cfg.name, err, src)
+	}
+	m := p.Load()
+	h := fnv.New64a()
+	if withTrace {
+		m.Bus.OnAccess = func(a mem.Access) {
+			fmt.Fprintf(h, "%d:%d:%d:%t;", a.Kind, a.Addr, a.Value, a.Byte)
+		}
+	}
+	stop, fault := m.Run(defaultBudget)
+
+	fp := engineFP{
+		stop: stop, exit: m.CPU.ExitCode, cycles: m.CPU.Cycles, insns: m.CPU.Insns,
+		viol: m.MPU.Violations(), flags: m.MPU.Flags(),
+	}
+	fp.r, fp.w, fp.f = m.Bus.Stats()
+	if fault != nil {
+		fp.fault = fault.Error()
+	}
+	if withTrace {
+		fp.trace = h.Sum64()
+	}
+	var names []string
+	for name := range p.Checked.Globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		g := p.Checked.Globals[name]
+		addr := p.Image.MustSym(abi.SymGlobal(unitName, name))
+		fmt.Fprintf(&sb, "%s=", name)
+		for i := 0; i < g.Type.Size(); i++ {
+			fmt.Fprintf(&sb, "%02x", m.Bus.Peek8(addr+uint16(i)))
+		}
+		sb.WriteString(";")
+	}
+	fp.globals = sb.String()
+	return fp
+}
+
+// TestEngineEquivalenceBattery is the tentpole's lockdown: generated torture
+// programs — benign differential ones and fault-injecting adversarial ones —
+// must be byte-identical across {fused, unfused} × {certified, per-word}
+// under every isolation mode: exit state, cycle counts, instruction counts,
+// bus statistics, MPU violation state, final global bytes, and the complete
+// access trace (fused vs unfused; the certificate fast path is only taken
+// when no profiler observes accesses, so traces compare the fusion axis).
+func TestEngineEquivalenceBattery(t *testing.T) {
+	defer resetEngines()
+	nDiff, nAdv := 20, 12
+	if testing.Short() {
+		nDiff, nAdv = 6, 4
+	}
+	run := func(kind string, n int, seedBase uint64) {
+		for i := 0; i < n; i++ {
+			restricted := i%4 == 1
+			c := BuildCase(kind, caseSeed(seedBase, i), restricted)
+			modes := diffModes(restricted)
+			if kind == KindAdversarial {
+				modes = advModes(restricted)
+			}
+			for _, mode := range modes {
+				var ref engineFP
+				for j, cfg := range engineMatrix {
+					fp := fingerprintStandalone(t, c.Source, mode, cfg, false)
+					if j == 0 {
+						ref = fp
+						continue
+					}
+					if fp != ref {
+						t.Fatalf("%s case %d %v: %s diverged from %s\n  ref: %+v\n  got: %+v\n%s",
+							kind, i, mode, cfg.name, engineMatrix[0].name, ref, fp, c.Source)
+					}
+				}
+				// Trace pass: fused vs unfused under the profiling hook.
+				a := fingerprintStandalone(t, c.Source, mode, engineMatrix[0], true)
+				b := fingerprintStandalone(t, c.Source, mode, engineMatrix[2], true)
+				if a != b {
+					t.Fatalf("%s case %d %v: access traces diverged\n  fused:   %+v\n  unfused: %+v\n%s",
+						kind, i, mode, a, b, c.Source)
+				}
+			}
+		}
+	}
+	run(KindDifferential, nDiff, 0x5EED)
+	run(KindAdversarial, nAdv, 0xA77C)
+}
+
+// TestCampaignByteIdenticalAcrossEngines is the campaign-level guardrail
+// behind the CI matrix legs: whole differential, adversarial and hosted
+// campaigns serialize to the same bytes in every cell of the engine matrix
+// (and with the decode cache off entirely), so `-nofuse` and
+// `-nodecodecache` stay byte-identical forever.
+func TestCampaignByteIdenticalAcrossEngines(t *testing.T) {
+	defer func() {
+		resetEngines()
+		cpu.SetDecodeCache(true)
+	}()
+	for _, kind := range []string{KindDifferential, KindAdversarial, KindHosted} {
+		n := 30
+		if kind == KindHosted {
+			n = 10
+		}
+		if testing.Short() {
+			n = n/4 + 1
+		}
+		var ref string
+		check := func(name string) {
+			cfg := DefaultConfig(kind)
+			cfg.Programs = n
+			rep, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == "" {
+				ref = string(b)
+				return
+			}
+			if string(b) != ref {
+				t.Errorf("%s: %s report differs from %s", kind, name, engineMatrix[0].name)
+			}
+		}
+		for _, cfg := range engineMatrix {
+			isa.SetFusion(cfg.fuse)
+			mem.SetExecCerts(cfg.certs)
+			check(cfg.name)
+		}
+		resetEngines()
+		cpu.SetDecodeCache(false)
+		check("nodecodecache")
+		cpu.SetDecodeCache(true)
+	}
+}
+
+// TestCorpusReplayAcrossEngines replays every committed corpus case —
+// including the fusion-boundary reproducers — under the full engine matrix
+// and the live-decode engine, asserting identical serialized outcomes.
+func TestCorpusReplayAcrossEngines(t *testing.T) {
+	defer func() {
+		resetEngines()
+		cpu.SetDecodeCache(true)
+	}()
+	cases, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		var ref string
+		replay := func(name string) {
+			out := Execute(c)
+			b, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == "" {
+				ref = string(b)
+				return
+			}
+			if string(b) != ref {
+				t.Errorf("corpus %s: outcome under %s differs:\n  ref: %s\n  got: %s",
+					c.Name, name, ref, b)
+			}
+		}
+		for _, cfg := range engineMatrix {
+			isa.SetFusion(cfg.fuse)
+			mem.SetExecCerts(cfg.certs)
+			replay(cfg.name)
+		}
+		resetEngines()
+		cpu.SetDecodeCache(false)
+		replay("nodecodecache")
+		cpu.SetDecodeCache(true)
+	}
+}
