@@ -41,6 +41,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns/op"`        // host nanoseconds per operation
 	InstrPerSec float64 `json:"instr/s"`      // simulated instructions per host second
 	SimInstr    uint64  `json:"simInstr"`     // total simulated instructions retired
+	AllocsPerOp float64 `json:"allocs/op"`    // heap allocations per operation
+	BytesPerOp  float64 `json:"bytes/op"`     // heap bytes allocated per operation
 	WallSeconds float64 `json:"wall_seconds"` // total measured wall time
 }
 
@@ -51,6 +53,8 @@ type Snapshot struct {
 	DecodeCache bool     `json:"decodeCache"`
 	Fusion      bool     `json:"fusion"`
 	ExecCerts   bool     `json:"execCerts"`
+	Threading   bool     `json:"threading"`
+	Batching    bool     `json:"batching"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -62,6 +66,8 @@ func main() {
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache")
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (per-word fetch checks)")
+	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine)")
+	noBatch := flag.Bool("nobatch", false, "disable fleet wear-window batching")
 	force := flag.Bool("force", false, "overwrite an existing snapshot file")
 	baseline := flag.String("baseline", "", "compare instr/s against this committed snapshot and fail on drift")
 	tolerance := flag.Float64("tolerance", 50,
@@ -71,6 +77,8 @@ func main() {
 	cpu.SetDecodeCache(!*noCache)
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
+	isa.SetThreading(!*noThread)
+	fleet.SetBatching(!*noBatch)
 	if *benchtime <= 0 {
 		fail(fmt.Errorf("-benchtime must be positive, got %v", *benchtime))
 	}
@@ -88,6 +96,12 @@ func main() {
 		if *noCert {
 			parts = append(parts, "nocert")
 		}
+		if *noThread {
+			parts = append(parts, "nothread")
+		}
+		if *noBatch {
+			parts = append(parts, "nobatch")
+		}
 		*label = strings.Join(parts, "-")
 	}
 
@@ -97,6 +111,8 @@ func main() {
 		DecodeCache: cpu.DecodeCacheEnabled(),
 		Fusion:      isa.FusionEnabled(),
 		ExecCerts:   mem.ExecCertsEnabled(),
+		Threading:   isa.ThreadingEnabled(),
+		Batching:    fleet.BatchingEnabled(),
 	}
 	for _, b := range benches {
 		res, err := measure(b, *benchtime)
@@ -141,11 +157,13 @@ func main() {
 	}
 }
 
-// checkDrift compares each measured benchmark's instr/s against the
-// committed baseline snapshot, failing when any drops more than tol percent.
-// Absolute instr/s varies with host hardware, so the band is wide: the gate
-// exists to catch engine-sized regressions (a disabled cache, an accidental
-// O(n) fetch path), not single-digit noise.
+// checkDrift compares each measured benchmark against the committed baseline
+// snapshot, failing when any regresses more than tol percent. Throughput
+// benchmarks compare instr/s; instruction-free benchmarks (DeviceBoot)
+// compare ns/op instead, so the boot-template win stays gated too. Absolute
+// numbers vary with host hardware, so the band is wide: the gate exists to
+// catch engine-sized regressions (a disabled cache, an accidental O(n)
+// fetch path, a template that stopped attaching), not single-digit noise.
 func checkDrift(path string, snap Snapshot, tol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -162,19 +180,40 @@ func checkDrift(path string, snap Snapshot, tol float64) error {
 	var drifted []string
 	for _, r := range snap.Benchmarks {
 		b, ok := baseBy[r.Name]
-		if !ok || b.InstrPerSec <= 0 {
-			continue
+		switch {
+		case !ok:
+		case b.InstrPerSec > 0:
+			deltaPct := 100 * (r.InstrPerSec - b.InstrPerSec) / b.InstrPerSec
+			fmt.Fprintf(os.Stderr, "drift %-28s %+7.1f%% instr/s vs %s\n", r.Name, deltaPct, path)
+			if deltaPct < -tol {
+				drifted = append(drifted,
+					fmt.Sprintf("%s: %.0f instr/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+						r.Name, r.InstrPerSec, -deltaPct, b.InstrPerSec, tol))
+			}
+		case b.NsPerOp > 0:
+			deltaPct := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			fmt.Fprintf(os.Stderr, "drift %-28s %+7.1f%% ns/op vs %s\n", r.Name, deltaPct, path)
+			if deltaPct > tol {
+				drifted = append(drifted,
+					fmt.Sprintf("%s: %.0f ns/op is %.1f%% above baseline %.0f (tolerance %.0f%%)",
+						r.Name, r.NsPerOp, deltaPct, b.NsPerOp, tol))
+			}
 		}
-		deltaPct := 100 * (r.InstrPerSec - b.InstrPerSec) / b.InstrPerSec
-		fmt.Fprintf(os.Stderr, "drift %-28s %+7.1f%% instr/s vs %s\n", r.Name, deltaPct, path)
-		if deltaPct < -tol {
-			drifted = append(drifted,
-				fmt.Sprintf("%s: %.0f instr/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
-					r.Name, r.InstrPerSec, -deltaPct, b.InstrPerSec, tol))
+		// Allocation growth is gated on every benchmark that has a
+		// baseline: allocs/op is nearly host-independent, so the same band
+		// catches structural regressions (a boot path re-growing per-device
+		// loads) that timing noise could hide.
+		if ok && b.AllocsPerOp > 0 {
+			deltaPct := 100 * (r.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			if deltaPct > tol {
+				drifted = append(drifted,
+					fmt.Sprintf("%s: %.1f allocs/op is %.1f%% above baseline %.1f (tolerance %.0f%%)",
+						r.Name, r.AllocsPerOp, deltaPct, b.AllocsPerOp, tol))
+			}
 		}
 	}
 	if len(drifted) > 0 {
-		return fmt.Errorf("instr/s drifted below the tolerance band:\n  %s", strings.Join(drifted, "\n  "))
+		return fmt.Errorf("performance drifted outside the tolerance band:\n  %s", strings.Join(drifted, "\n  "))
 	}
 	return nil
 }
@@ -186,7 +225,10 @@ type bench struct {
 	setup func() (op func() (uint64, error), err error)
 }
 
-// measure runs b's op until benchtime elapses (with a warm-up op first).
+// measure runs b's op until benchtime elapses (with a warm-up op first),
+// recording host time and heap allocation per op (allocs/op regressions on
+// the boot and dispatch paths are exactly the kind of engine-sized change
+// the drift gate exists to catch).
 func measure(b bench, benchtime time.Duration) (Result, error) {
 	op, err := b.setup()
 	if err != nil {
@@ -196,9 +238,11 @@ func measure(b bench, benchtime time.Duration) (Result, error) {
 		return Result{}, err
 	}
 	var (
-		ops   int
-		instr uint64
+		ops    int
+		instr  uint64
+		m0, m1 runtime.MemStats
 	)
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for ops == 0 || time.Since(start) < benchtime {
 		n, err := op()
@@ -209,23 +253,28 @@ func measure(b bench, benchtime time.Duration) (Result, error) {
 		ops++
 	}
 	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	return Result{
 		Name:        b.name,
 		Ops:         ops,
 		NsPerOp:     float64(wall.Nanoseconds()) / float64(ops),
 		InstrPerSec: float64(instr) / wall.Seconds(),
 		SimInstr:    instr,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
 		WallSeconds: wall.Seconds(),
 	}, nil
 }
 
 // benches mirrors the tracked `go test -bench` families: raw simulator speed
 // (BenchmarkSimulator), a Figure 3 style compute-heavy standalone program,
-// and fleet throughput (BenchmarkFleetThroughput).
+// fleet throughput (BenchmarkFleetThroughput), and boot-only device cost
+// (the template-clone path the zero-cost-boot work optimizes).
 var benches = []bench{
 	{name: "Simulator/MPU", setup: setupSimulator},
 	{name: "Standalone/Quicksort/MPU", setup: setupQuicksort},
 	{name: "FleetThroughput/32dev", setup: setupFleet},
+	{name: "DeviceBoot/32dev", setup: setupDeviceBoot},
 }
 
 // setupSimulator measures one kernel event dispatch (the BenchmarkSimulator
@@ -320,6 +369,38 @@ func setupFleet() (func() (uint64, error), error) {
 			return 0, err
 		}
 		return rep.TotalInsns, nil
+	}, nil
+}
+
+// setupDeviceBoot measures pure boot cost: 32 kernels cloned from the shared
+// boot template per op, no events delivered. It retires no simulated
+// instructions (instr/s stays 0), so the drift gate tracks it by ns/op and
+// allocs/op — the metrics the template-clone optimization moves.
+func setupDeviceBoot() (func() (uint64, error), error) {
+	pedometer, ok := apps.ByName("pedometer")
+	if !ok {
+		return nil, fmt.Errorf("no pedometer app")
+	}
+	hr, ok := apps.ByName("hr")
+	if !ok {
+		return nil, fmt.Errorf("no hr app")
+	}
+	list := []apps.App{pedometer, hr}
+	cache := fleet.NewBuildCache()
+	tmpl, err := cache.Template(list, cc.ModeMPU)
+	if err != nil {
+		return nil, err
+	}
+	sink := 0
+	return func() (uint64, error) {
+		for d := 0; d < 32; d++ {
+			k := tmpl.NewKernel(fleet.DeviceSeed(1, d))
+			sink += len(k.Apps)
+		}
+		if sink == 0 {
+			return 0, fmt.Errorf("boot produced no apps")
+		}
+		return 0, nil
 	}, nil
 }
 

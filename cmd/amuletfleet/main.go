@@ -52,11 +52,15 @@ func main() {
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
+	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
+	noBatch := flag.Bool("nobatch", false, "disable wear-window event batching (reports must be byte-identical either way)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
+	isa.SetThreading(!*noThread)
+	fleet.SetBatching(!*noBatch)
 
 	modes, err := parseModes(*modeName)
 	if err != nil {
@@ -97,6 +101,9 @@ func main() {
 		}
 	}
 	builds, hits := runner.Cache.Stats()
+	tmplBuilds, tmplHits := runner.Cache.TemplateStats()
+	cacheLine := fmt.Sprintf("firmware builds: %d (%d cache hits); boot templates: %d built (%d cache hits)",
+		builds, hits, tmplBuilds, tmplHits)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -110,8 +117,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Keep stdout pure JSON; the cache counters go to stderr.
+		fmt.Fprintln(os.Stderr, cacheLine)
 	} else {
-		fmt.Printf("firmware builds: %d (%d cache hits)\n", builds, hits)
+		fmt.Println(cacheLine)
 	}
 }
 

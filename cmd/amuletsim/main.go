@@ -32,11 +32,13 @@ func main() {
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
+	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
+	isa.SetThreading(!*noThread)
 
 	var mode cc.Mode
 	found := false

@@ -54,11 +54,14 @@ func main() {
 		"disable superinstruction fusion; campaigns must report identical bytes either way")
 	noCert := flag.Bool("nocert", false,
 		"disable execute certificates (per-word fetch checks); campaigns must report identical bytes either way")
+	noThread := flag.Bool("nothread", false,
+		"disable threaded dispatch (switch-executor engine); campaigns must report identical bytes either way")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
+	isa.SetThreading(!*noThread)
 
 	if *emit != 0 {
 		c := torture.BuildCase(*emitKind, *emit, false)

@@ -196,7 +196,7 @@ func (p *Program) Load() *Machine {
 	m := &Machine{CPU: c, Bus: bus, Img: p.Image}
 	u := mpu.New()
 	bus.Map(mpu.RegLo, mpu.RegHi, u)
-	bus.Checker = u
+	bus.SetChecker(u)
 	m.MPU = u
 	p.Image.LoadInto(bus)
 	c.SetPC(p.Image.Entry)

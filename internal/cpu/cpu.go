@@ -305,7 +305,7 @@ func (c *CPU) Step() *Fault {
 					return &Fault{PC: pc, Violation: viol}
 				}
 				c.SetPC(pc + e.Size)
-				f := c.exec(pc, e.Size, e.In)
+				f := c.dispatch(pc, e.Size, &e.In, e.H)
 				if f == nil {
 					c.Cycles += uint64(e.Cost)
 					c.Insns++
@@ -362,7 +362,7 @@ func (c *CPU) stepFusedPair(pc uint16, f *isa.Fused) *Fault {
 		return &Fault{PC: mid, Violation: viol}
 	}
 	c.SetPC(mid + p1.Size)
-	if fl := c.exec(mid, p1.Size, p1.In); fl != nil {
+	if fl := c.dispatch(mid, p1.Size, &p1.In, p1.H); fl != nil {
 		return fl
 	}
 	c.Cycles += uint64(p1.Cost)
@@ -394,7 +394,7 @@ func (c *CPU) stepFused(pc uint16, f *isa.Fused) *Fault {
 			return &Fault{PC: addr, Violation: viol}
 		}
 		c.SetPC(addr + p.Size)
-		if fl := c.exec(addr, p.Size, p.In); fl != nil {
+		if fl := c.dispatch(addr, p.Size, &p.In, p.H); fl != nil {
 			return fl
 		}
 		c.Cycles += uint64(p.Cost)

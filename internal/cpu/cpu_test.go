@@ -448,7 +448,7 @@ func TestFaultAbortsInstruction(t *testing.T) {
 	c := load(t,
 		isa.Instr{Op: isa.MOV, Src: isa.Imm(1), Dst: isa.Abs(0x9000)},
 	)
-	c.Bus.Checker = blockHigh{}
+	c.Bus.SetChecker(blockHigh{})
 	f := c.Step()
 	if f == nil {
 		t.Fatal("no fault")

@@ -130,7 +130,13 @@ func (c *CPU) setNZ(res uint16, byteOp bool) {
 	}
 }
 
-// addCore performs dst + src + carryIn with full flag computation.
+// aluFlags is the SR mask every arithmetic/logic flag update rewrites.
+const aluFlags = isa.FlagC | isa.FlagZ | isa.FlagN | isa.FlagV
+
+// addCore performs dst + src + carryIn with full flag computation. All four
+// flags are composed into one SR store — the per-instruction cost of four
+// separate read-modify-write setFlag calls was visible in the interpreter
+// profile.
 func (c *CPU) addCore(dst, src, carryIn uint16, byteOp bool) uint16 {
 	var mask, sign uint32 = 0xFFFF, 0x8000
 	if byteOp {
@@ -139,10 +145,43 @@ func (c *CPU) addCore(dst, src, carryIn uint16, byteOp bool) uint16 {
 	d, s := uint32(dst)&mask, uint32(src)&mask
 	sum := d + s + uint32(carryIn)
 	res := sum & mask
-	c.setFlag(isa.FlagC, sum > mask)
-	c.setFlag(isa.FlagV, (^(d^s)&(d^res))&sign != 0)
-	c.setNZ(uint16(res), byteOp)
+	sr := c.Regs[isa.SR] &^ aluFlags
+	if sum > mask {
+		sr |= isa.FlagC
+	}
+	if (^(d^s)&(d^res))&sign != 0 {
+		sr |= isa.FlagV
+	}
+	if res&sign != 0 {
+		sr |= isa.FlagN
+	}
+	if res == 0 {
+		sr |= isa.FlagZ
+	}
+	c.Regs[isa.SR] = sr
 	return uint16(res)
+}
+
+// logicFlags applies the BIT/AND/XOR flag rule — N/Z from the result,
+// C = !Z, V as given — in one SR store.
+func (c *CPU) logicFlags(res uint16, byteOp, v bool) {
+	sr := c.Regs[isa.SR] &^ aluFlags
+	sign, m := uint16(0x8000), res
+	if byteOp {
+		sign, m = 0x80, res&0xFF
+	}
+	if m&sign != 0 {
+		sr |= isa.FlagN
+	}
+	if m == 0 {
+		sr |= isa.FlagZ
+	} else {
+		sr |= isa.FlagC
+	}
+	if v {
+		sr |= isa.FlagV
+	}
+	c.Regs[isa.SR] = sr
 }
 
 // exec executes a decoded instruction. pc is the instruction address, size
@@ -271,11 +310,13 @@ func (c *CPU) execOneOperand(pc, size uint16, in isa.Instr) *Fault {
 func (c *CPU) execTwoOperand(pc, size uint16, in isa.Instr) *Fault {
 	mkFault := func(v *mem.Violation) *Fault { return &Fault{PC: pc, Violation: v} }
 
+	// The source extension word (if any) always follows the opcode word, and
+	// the destination extension word (if any) is always the LAST word of the
+	// encoding — so both addresses fall out of pc and size, with no
+	// NeedsExtWord probing. When an operand has no extension word its
+	// address is simply never read.
 	srcExt := pc + 2
-	dstExt := pc + 2
-	if in.Src.NeedsExtWord(true) {
-		dstExt += 2
-	}
+	dstExt := pc + size - 2
 
 	src, _, viol := c.resolveSrc(in, srcExt)
 	if viol != nil {
@@ -314,9 +355,7 @@ func (c *CPU) execTwoOperand(pc, size uint16, in isa.Instr) *Fault {
 		res = c.dadd(dst, src, in.Byte)
 	case isa.BIT, isa.AND:
 		res = dst & src
-		c.setNZ(res, in.Byte)
-		c.setFlag(isa.FlagC, !c.flag(isa.FlagZ))
-		c.setFlag(isa.FlagV, false)
+		c.logicFlags(res, in.Byte, false)
 		write = in.Op == isa.AND
 	case isa.BIC:
 		res = dst &^ src
@@ -328,9 +367,7 @@ func (c *CPU) execTwoOperand(pc, size uint16, in isa.Instr) *Fault {
 		if in.Byte {
 			sign = 0x80
 		}
-		c.setNZ(res, in.Byte)
-		c.setFlag(isa.FlagC, !c.flag(isa.FlagZ))
-		c.setFlag(isa.FlagV, dst&src&sign != 0)
+		c.logicFlags(res, in.Byte, dst&src&sign != 0)
 	}
 	if write {
 		if v := c.writeLoc(loc, res, in.Byte); v != nil {
@@ -361,7 +398,21 @@ func (c *CPU) dadd(dst, src uint16, byteOp bool) uint16 {
 		}
 		res |= d << (4 * i)
 	}
-	c.setFlag(isa.FlagC, carry != 0)
-	c.setNZ(res, byteOp)
+	// DADD leaves V untouched; compose C/N/Z into one SR store.
+	sr := c.Regs[isa.SR] &^ (isa.FlagC | isa.FlagZ | isa.FlagN)
+	if carry != 0 {
+		sr |= isa.FlagC
+	}
+	sign := uint16(0x8000)
+	if byteOp {
+		sign = 0x80
+	}
+	if res&sign != 0 {
+		sr |= isa.FlagN
+	}
+	if res == 0 {
+		sr |= isa.FlagZ
+	}
+	c.Regs[isa.SR] = sr
 	return res
 }

@@ -1,0 +1,53 @@
+package fleet
+
+import "sync/atomic"
+
+// Wear-window batching. Two amortizations, both behind one switch (the
+// `-nobatch` escape hatch the CLIs expose):
+//
+//   - workers claim contiguous batches of work items instead of one item per
+//     channel round trip, so the pool's coordination cost stays flat as
+//     fleets grow to thousands of devices;
+//   - inside one device, the wear window is delivered in bounded batches of
+//     kernel events (kernel.RunBatch) between cancellation checks, keeping
+//     workers responsive without paying a context poll per event.
+//
+// Batching is a scheduling change only: per-device results are pure
+// functions of (firmware, seed, scenario), workers write disjoint slots, and
+// RunBatch advances virtual time exactly as RunUntil would — so reports stay
+// byte-identical at any parallelism with batching on or off (the fleet
+// determinism tests pin this).
+
+// batchingOff globally disables wear-window batching when set.
+var batchingOff atomic.Bool
+
+// SetBatching enables or disables wear-window batching process-wide. It is
+// consulted at the start of each run, so it may be toggled between runs.
+func SetBatching(on bool) { batchingOff.Store(!on) }
+
+// BatchingEnabled reports whether fleet runs use wear-window batching.
+func BatchingEnabled() bool { return !batchingOff.Load() }
+
+// EventBatch is the number of kernel events a worker delivers per slice of a
+// device's wear window before re-checking for cancellation.
+const EventBatch = 64
+
+// maxChunk bounds how many work items one worker claim may cover; small
+// enough that tail workers never idle behind one long claim.
+const maxChunk = 64
+
+// chunkFor sizes a worker claim for n items over the given pool, honoring
+// the batching switch.
+func chunkFor(n, workers int) int {
+	if !BatchingEnabled() || workers <= 0 {
+		return 1
+	}
+	c := n / (workers * 4)
+	if c < 1 {
+		return 1
+	}
+	if c > maxChunk {
+		return maxChunk
+	}
+	return c
+}

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"runtime"
 
-	"amuletiso/internal/aft"
 	"amuletiso/internal/apps"
 	"amuletiso/internal/cc"
 	"amuletiso/internal/kernel"
@@ -73,6 +72,10 @@ type Scenario struct {
 	FaultApp int
 	// Policy overrides the kernel's default restart policy when non-nil.
 	Policy *kernel.RestartPolicy
+	// WatchdogBudget overrides the kernel's per-event cycle budget when
+	// > 0 — the knob watchdog-starvation sweeps use to land the watchdog at
+	// arbitrary points of a wear window.
+	WatchdogBudget uint64
 }
 
 // validate rejects scenarios the runner cannot execute.
@@ -131,15 +134,17 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 		cache = NewBuildCache()
 	}
 	// Build up front: one compile+link per (app set, mode), shared by every
-	// device. The firmware is immutable, so workers need no further locking.
-	fw, err := cache.Get(sc.Apps, sc.Mode)
+	// device, plus the boot template every device clones its memory from.
+	// Both are immutable, so workers need no further locking.
+	tmpl, err := cache.Template(sc.Apps, sc.Mode)
 	if err != nil {
 		return nil, err
 	}
 
+	workers := r.workerCount()
 	results := make([]DeviceResult, sc.Devices)
-	err = ForEach(ctx, sc.Devices, r.workerCount(), func(i int) error {
-		res, err := simulate(ctx, &sc, fw, sc.FirstDevice+i)
+	err = ForEachBatch(ctx, sc.Devices, workers, chunkFor(sc.Devices, workers), func(i int) error {
+		res, err := simulate(ctx, &sc, tmpl, sc.FirstDevice+i)
 		if err != nil {
 			return err
 		}
@@ -187,19 +192,26 @@ func DeviceSeed(fleetSeed uint64, device int) uint32 {
 	return s
 }
 
-// simulate runs one device start to finish: boot a kernel from the shared
-// firmware with the device's seed, install the schedule, and walk the wear
-// window in injection-bounded chunks (which double as cancellation points).
-func simulate(ctx context.Context, sc *Scenario, fw *aft.Firmware, device int) (DeviceResult, error) {
+// simulate runs one device start to finish: clone a kernel from the shared
+// boot template with the device's seed, install the schedule, and walk the
+// wear window in injection-bounded segments. With batching on, each segment
+// is delivered in bounded event batches (cancellation is checked between
+// batches rather than only between segments); either way the delivered
+// event sequence — and therefore the DeviceResult — is identical.
+func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, device int) (DeviceResult, error) {
 	seed := DeviceSeed(sc.Seed, device)
-	k := kernel.NewSeeded(fw, seed)
+	k := tmpl.NewKernel(seed)
 	if sc.Policy != nil {
 		k.Policy = *sc.Policy
+	}
+	if sc.WatchdogBudget > 0 {
+		k.WatchdogBudget = sc.WatchdogBudget
 	}
 	for _, ev := range sc.Events {
 		k.PostPeriodic(ev.App, ev.Code, ev.Arg, ev.AtMS, ev.PeriodMS)
 	}
 
+	batch := BatchingEnabled()
 	events := 0
 	now := uint64(0)
 	nextButton := injectStart(sc.ButtonEveryMS)
@@ -216,7 +228,20 @@ func simulate(ctx context.Context, sc *Scenario, fw *aft.Firmware, device int) (
 		if nextFault < next {
 			next = nextFault
 		}
-		events += k.RunUntil(next)
+		if batch {
+			for {
+				n, more := k.RunBatch(next, EventBatch)
+				events += n
+				if !more {
+					break
+				}
+				if err := ctx.Err(); err != nil {
+					return DeviceResult{}, err
+				}
+			}
+		} else {
+			events += k.RunUntil(next)
+		}
 		now = next
 		if now == nextButton {
 			buttonRNG = splitmix64(buttonRNG)

@@ -16,6 +16,17 @@ import (
 // a pre-sized slice at index i get deterministic output regardless of worker
 // count or scheduling — the property both subsystems' reports rely on.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachBatch(ctx, n, workers, 1, fn)
+}
+
+// ForEachBatch is ForEach with batched claims: each worker receives a
+// contiguous run of up to batch indices per channel round trip, amortizing
+// pool coordination when items are cheap and plentiful (fleet devices). The
+// error, cancellation and determinism contracts are exactly ForEach's —
+// which indices land in which claim never changes what fn computes, only
+// which goroutine runs it. Within a claim, cancellation and first-error
+// stops are honored between items.
+func ForEachBatch(ctx context.Context, n, workers, batch int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,8 +36,12 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if batch < 1 {
+		batch = 1
+	}
 
-	idx := make(chan int)
+	type span struct{ lo, hi int }
+	idx := make(chan span)
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -41,22 +56,41 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 		}
 		errMu.Unlock()
 	}
+	stopped := func() bool {
+		select {
+		case <-failed:
+			return true
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					fail(err)
-					return
+			for s := range idx {
+				for i := s.lo; i < s.hi; i++ {
+					if i > s.lo && stopped() {
+						return
+					}
+					if err := fn(i); err != nil {
+						fail(err)
+						return
+					}
 				}
 			}
 		}()
 	}
 feed:
-	for i := 0; i < n; i++ {
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
 		select {
-		case idx <- i:
+		case idx <- span{lo, hi}:
 		case <-ctx.Done():
 			break feed
 		case <-failed:

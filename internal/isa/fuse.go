@@ -73,6 +73,10 @@ type FusedPart struct {
 	In   Instr
 	Size uint16 // encoded size in bytes
 	Cost uint16 // Cycles(In)
+	// H carries the component's threaded-dispatch handler (copied from its
+	// own cache slot), so fused execution dispatches components exactly as
+	// the single-slot path would.
+	H HandlerID
 }
 
 // Fused is a superinstruction: 2..maxPushRun components that are contiguous
@@ -126,7 +130,9 @@ func (p *Program) fuse() {
 }
 
 // part converts a cache slot into a fused component.
-func part(e *CachedInstr) FusedPart { return FusedPart{In: e.In, Size: e.Size, Cost: e.Cost} }
+func part(e *CachedInstr) FusedPart {
+	return FusedPart{In: e.In, Size: e.Size, Cost: e.Cost, H: e.H}
+}
 
 // matchFuse tries every fusion pattern with the instruction at addr as the
 // group head. Only the LAST component of a group may transfer control (Jcc,

@@ -26,6 +26,9 @@ type CachedInstr struct {
 	In   Instr
 	Size uint16 // encoded size in bytes; 0 marks an uncacheable slot
 	Cost uint16 // Cycles(In), precomputed
+	// H is the threaded-dispatch handler bound at predecode (see thread.go);
+	// HNone routes the slot through the CPU's classic switch executor.
+	H HandlerID
 	// Fused, when non-nil, is the superinstruction headed by this slot
 	// (see fuse.go). The component slots keep their own entries, so a PC
 	// landing mid-group executes normally from its own slot.
@@ -74,6 +77,7 @@ func Predecode(r WordReader, ranges []TextRange) *Program {
 		ins:    make([]CachedInstr, (uint32(end)-uint32(base)+1)/2),
 		ranges: append([]TextRange(nil), ranges...),
 	}
+	thread := ThreadingEnabled()
 	for _, tr := range ranges {
 		// An odd Lo rounds UP: the partial word below it lies outside the
 		// watched range, so caching it could never be invalidated.
@@ -82,7 +86,11 @@ func Predecode(r WordReader, ranges []TextRange) *Program {
 			if err != nil || uint32(a)+uint32(size) > uint32(tr.Hi) {
 				continue // uncacheable: live decode handles it
 			}
-			p.ins[(a-base)>>1] = CachedInstr{In: in, Size: size, Cost: uint16(Cycles(in))}
+			e := CachedInstr{In: in, Size: size, Cost: uint16(Cycles(in))}
+			if thread {
+				e.H = HandlerFor(in)
+			}
+			p.ins[(a-base)>>1] = e
 			p.cached++
 		}
 	}

@@ -37,7 +37,7 @@ func (c *certChecker) ExecSpan(addr uint16) (uint16, uint32) {
 func TestFetchWordsCertified(t *testing.T) {
 	b := NewBus()
 	ck := &certChecker{denyLo: 0x8000, denyHi: 0x8FFF}
-	b.Checker = ck
+	b.SetChecker(ck)
 
 	if v := b.FetchWords(0x4400, 6); v != nil {
 		t.Fatalf("allowed fetch denied: %v", v)
@@ -84,9 +84,9 @@ func TestFetchWordsMatchesOracle(t *testing.T) {
 	for _, start := range []uint16{0x7FF8, 0x7FFA, 0x7FFC, 0x7FFE, 0x8000, 0x8FF8, 0x8FFE, 0x9000, 0x4400} {
 		for _, size := range []uint16{2, 4, 6, 8} {
 			fast := NewBus()
-			fast.Checker = &certChecker{denyLo: 0x8000, denyHi: 0x8FFF}
+			fast.SetChecker(&certChecker{denyLo: 0x8000, denyHi: 0x8FFF})
 			slow := NewBus()
-			slow.Checker = &certChecker{denyLo: 0x8000, denyHi: 0x8FFF}
+			slow.SetChecker(&certChecker{denyLo: 0x8000, denyHi: 0x8FFF})
 
 			vf := fast.FetchWords(start, size)
 			vs := slow.fetchWordsOracle(start, size)
@@ -132,7 +132,7 @@ func TestCertDroppedByWritesIntoWatchedCode(t *testing.T) {
 		t.Run(p.name, func(t *testing.T) {
 			b := NewBus()
 			ck := &certChecker{denyLo: 0xF000, denyHi: 0xFFFF}
-			b.Checker = ck
+			b.SetChecker(ck)
 			b.WatchCode([]CodeRange{{Lo: 0x4400, Hi: 0x4800}}, func(lo, hi uint16) {})
 
 			if v := b.FetchWords(0x4400, 4); v != nil {
@@ -183,7 +183,7 @@ func TestSetExecCerts(t *testing.T) {
 	}
 	b := NewBus()
 	ck := &certChecker{denyLo: 0xF000, denyHi: 0xFFFF}
-	b.Checker = ck
+	b.SetChecker(ck)
 	if v := b.FetchWords(0x4400, 6); v != nil {
 		t.Fatal(v)
 	}
@@ -200,7 +200,7 @@ func TestSetExecCerts(t *testing.T) {
 func TestCertCheckerSwap(t *testing.T) {
 	b := NewBus()
 	open := &certChecker{denyLo: 1, denyHi: 0} // denies nothing
-	b.Checker = open
+	b.SetChecker(open)
 	if v := b.FetchWords(0x4400, 2); v != nil {
 		t.Fatal(v)
 	}
@@ -208,7 +208,7 @@ func TestCertCheckerSwap(t *testing.T) {
 		t.Fatalf("open checker should certify everything, got hi=%#x ok=%v", hi, ok)
 	}
 	closed := &certChecker{denyLo: 0x4000, denyHi: 0x4FFF}
-	b.Checker = closed
+	b.SetChecker(closed)
 	if v := b.FetchWords(0x4400, 2); v == nil {
 		t.Fatal("stale certificate honored after checker swap")
 	}

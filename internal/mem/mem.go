@@ -149,6 +149,14 @@ type ExecCertifier interface {
 	ExecGen() uint64
 }
 
+// execGenRef is an optional ExecCertifier extension: a certifier that can
+// expose its generation counter's address lets the bus turn the per-fetch
+// validity probe (an interface call on every certified instruction) into a
+// single memory load. The pointee must be exactly the value ExecGen returns.
+type execGenRef interface {
+	ExecGenRef() *uint64
+}
+
 // Bus is the CPU-visible memory system.
 //
 // The zero value is not usable; call NewBus.
@@ -170,18 +178,22 @@ type Bus struct {
 
 	// Execute-certificate state (see FetchWords). certLo/certHi is the span
 	// the checker last certified execute-allowed end to end, certGen the
-	// checker generation it was issued at. certChecker/certEC cache the
-	// Checker's identity and its ExecCertifier view so the per-fetch cost of
-	// a checker swap is one interface compare. A write into watched code
-	// empties the span (content invalidation); the next plan change
-	// (generation bump) re-certifies.
+	// checker generation it was issued at. certEC is the checker's
+	// ExecCertifier view, derived once in SetChecker so the fetch path never
+	// re-examines the checker's identity. A write into watched code empties
+	// the span (content invalidation); the next plan change (generation
+	// bump) re-certifies.
 	certLo, certHi uint32
 	certGen        uint64
-	certChecker    Checker
 	certEC         ExecCertifier
+	// certGenRef, when the certifier exposes it, is the address of the
+	// certifier's generation counter: the steady-state validity probe reads
+	// it directly instead of calling ExecGen through the interface.
+	certGenRef *uint64
 
-	// Checker, if non-nil, vets every data access and instruction fetch.
-	Checker Checker
+	// checker, if non-nil, vets every data access and instruction fetch.
+	// It is set through SetChecker, which derives the certificate view.
+	checker Checker
 	// OnAccess, if non-nil, observes every successful access (profiling).
 	OnAccess func(a Access)
 
@@ -197,10 +209,35 @@ type Bus struct {
 // NewBus returns a bus with the FR5969 region map and no devices.
 func NewBus() *Bus {
 	b := &Bus{}
-	// Unmapped memory reads as 0xFF (erased FRAM convention).
-	for i := range b.data {
-		b.data[i] = 0xFF
+	// Unmapped memory reads as 0xFF (erased FRAM convention). Doubling
+	// copies fill the 64 KiB in 16 memmoves instead of 64 Ki byte stores —
+	// bus construction is on the per-device boot path at fleet scale.
+	b.data[0] = 0xFF
+	for i := 1; i < len(b.data); i *= 2 {
+		copy(b.data[i:], b.data[:i])
 	}
+	return b
+}
+
+// BusImage is a full snapshot of a bus's 64 KiB memory: the boot-template
+// payload. A template holder captures a freshly loaded bus once with
+// SnapshotData and clones any number of independent buses from it with
+// NewBusFrom — one memmove per device instead of an erase pass plus a
+// per-segment firmware load.
+type BusImage [1 << 16]byte
+
+// SnapshotData copies the bus's memory into dst. Device registers are not
+// captured (devices never back their state with bus memory), so a snapshot
+// taken after a loader pass is exactly the byte state a fresh NewBus +
+// LoadInto sequence produces.
+func (b *Bus) SnapshotData(dst *BusImage) { copy(dst[:], b.data[:]) }
+
+// NewBusFrom returns a bus whose memory is a copy of img, with no devices,
+// checker or watches — byte-for-byte the machine NewBus plus the template's
+// loader history would have produced, at memmove cost.
+func NewBusFrom(img *BusImage) *Bus {
+	b := &Bus{}
+	copy(b.data[:], img[:])
 	return b
 }
 
@@ -334,12 +371,30 @@ func (b *Bus) rawWrite16(addr, v uint16) {
 	b.data[addr+1] = byte(v >> 8)
 }
 
+// SetChecker installs (or clears, with nil) the access checker. The
+// certifier view — ExecCertifier interface, generation-counter address — is
+// derived here, once per install, so the fetch fast path never pays an
+// interface identity probe. Any previously certified span is dropped.
+func (b *Bus) SetChecker(c Checker) {
+	b.checker = c
+	b.certEC, _ = c.(ExecCertifier)
+	b.certGenRef = nil
+	if gr, ok := c.(execGenRef); ok {
+		b.certGenRef = gr.ExecGenRef()
+	}
+	b.certGen = ^uint64(0)
+	b.DropExecCert()
+}
+
+// Checker returns the installed access checker, if any.
+func (b *Bus) Checker() Checker { return b.checker }
+
 // check runs the configured checker.
 func (b *Bus) check(a Access) *Violation {
-	if b.Checker == nil {
+	if b.checker == nil {
 		return nil
 	}
-	return b.Checker.CheckAccess(a)
+	return b.checker.CheckAccess(a)
 }
 
 // observe runs the profiling hook and updates counters.
@@ -441,26 +496,26 @@ func (b *Bus) immutable(addr uint16) *Violation {
 }
 
 // execCertified reports whether the instruction fetch [addr, addr+size) is
-// covered by a valid execute certificate, re-validating lazily: on a checker
-// swap the cached identity refreshes, and on a generation change (an MPU
-// plan change — gate code rewriting the registers, or the kernel's Go-side
-// Configure) the certifier is asked once for the maximal allowed span around
-// addr. Between plan changes the per-fetch cost is two compares and one
-// interface call.
+// covered by a valid execute certificate, re-validating lazily: on a
+// generation change (an MPU plan change — gate code rewriting the registers,
+// or the kernel's Go-side Configure) the certifier is asked once for the
+// maximal allowed span around addr. Between plan changes the per-fetch cost
+// is two compares and a generation load (SetChecker pre-derived the
+// certifier view, so no identity probe or interface call remains here).
 func (b *Bus) execCertified(addr, size uint16) bool {
-	if b.Checker != b.certChecker {
-		b.certChecker = b.Checker
-		b.certEC, _ = b.Checker.(ExecCertifier)
-		b.certGen = ^uint64(0)
-		b.certLo, b.certHi = 1, 0
-	}
 	ec := b.certEC
 	if ec == nil {
 		// With no checker at all every fetch is allowed; any other checker
 		// kind cannot certify and always takes the per-word oracle.
-		return b.Checker == nil
+		return b.checker == nil
 	}
-	if g := ec.ExecGen(); g != b.certGen {
+	var g uint64
+	if r := b.certGenRef; r != nil {
+		g = *r
+	} else {
+		g = ec.ExecGen()
+	}
+	if g != b.certGen {
 		b.certGen = g
 		lo, hi := ec.ExecSpan(addr)
 		b.certLo, b.certHi = uint32(lo), hi

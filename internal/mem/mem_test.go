@@ -140,7 +140,7 @@ func (c denyWrites) CheckAccess(a Access) *Violation {
 func TestCheckerBlocksAndPreservesMemory(t *testing.T) {
 	b := NewBus()
 	b.Poke16(0x9000, 0x0BAD)
-	b.Checker = denyWrites{0x8000}
+	b.SetChecker(denyWrites{0x8000})
 	if v := b.Write16(0x9000, 0xFFFF); v == nil {
 		t.Fatal("checker did not block write")
 	}

@@ -1,0 +1,54 @@
+package mem
+
+import "testing"
+
+// TestNewBusErasedFRAM pins the erased-FRAM convention the doubling-copy
+// fill must preserve: every byte of a fresh bus reads 0xFF.
+func TestNewBusErasedFRAM(t *testing.T) {
+	b := NewBus()
+	for a := uint32(0); a < 1<<16; a++ {
+		if got := b.Peek8(uint16(a)); got != 0xFF {
+			t.Fatalf("fresh bus byte at 0x%04X = 0x%02X, want 0xFF", a, got)
+		}
+	}
+}
+
+// TestSnapshotClone asserts the boot-template contract: a bus cloned from a
+// snapshot is byte-identical to the bus the snapshot was taken from, and the
+// clone is fully independent (writes on either side do not leak).
+func TestSnapshotClone(t *testing.T) {
+	src := NewBus()
+	src.LoadBytes(0x4400, []byte{0x10, 0x20, 0x30, 0x40})
+	src.Poke16(0xFFFE, 0x4400)
+	src.Poke8(0x1C01, 0xAB)
+
+	var img BusImage
+	src.SnapshotData(&img)
+	clone := NewBusFrom(&img)
+	for a := uint32(0); a < 1<<16; a++ {
+		if s, c := src.Peek8(uint16(a)), clone.Peek8(uint16(a)); s != c {
+			t.Fatalf("clone differs at 0x%04X: src 0x%02X, clone 0x%02X", a, s, c)
+		}
+	}
+
+	clone.Poke16(0x4400, 0xBEEF)
+	if src.Peek16(0x4400) == 0xBEEF {
+		t.Fatal("write to clone leaked into source bus")
+	}
+	src.Poke16(0x5000, 0x1234)
+	if clone.Peek16(0x5000) == 0x1234 {
+		t.Fatal("write to source leaked into clone")
+	}
+
+	// The clone starts with no checker, watch or certificate state.
+	if clone.Checker() != nil {
+		t.Fatal("clone inherited a checker")
+	}
+	if _, _, ok := clone.ExecCert(); ok {
+		t.Fatal("clone inherited a certified span")
+	}
+	r, w, f := clone.Stats()
+	if r != 0 || w != 0 || f != 0 {
+		t.Fatalf("clone inherited bus stats: %d/%d/%d", r, w, f)
+	}
+}

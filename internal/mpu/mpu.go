@@ -146,8 +146,11 @@ type Unit struct {
 	// which recur on every switch. Recomputing runs each time showed up at
 	// ~16% of fleet wall time; eight memo slots hold both stable plans plus
 	// every recurring intermediate, making the steady state pure compares.
+	// spanLast remembers the last slot served so the common repeat probe is
+	// one compare instead of a table scan.
 	spanCache [8]execRuns
 	spanNext  int
+	spanLast  int
 
 	// OnViolation, if set, is invoked after a violation flag latches.
 	OnViolation func(v *mem.Violation)
@@ -352,6 +355,13 @@ func (u *Unit) execAllowed(addr uint16) bool {
 // certified span at plan changes.
 func (u *Unit) ExecGen() uint64 { return u.gen }
 
+// ExecGenRef exposes the generation counter's address, letting the bus read
+// certificate validity with a load instead of an interface call on every
+// certified fetch (the probe was ~5% of interpreter time). The pointee is
+// exactly the ExecGen value; only the bus (single-threaded with the unit)
+// reads it.
+func (u *Unit) ExecGenRef() *uint64 { return &u.gen }
+
 // execRuns is one memoized span computation: the configuration it was built
 // under and the maximal execute-allowed runs it yields (at most 5 denied
 // regions exist, so at most 6 runs).
@@ -383,17 +393,29 @@ func (u *Unit) ExecSpan(addr uint16) (uint16, uint32) {
 	return addr, uint32(addr)
 }
 
+// matches reports whether the memo slot was built under the current
+// configuration.
+func (r *execRuns) matches(u *Unit) bool {
+	return r.valid && r.b1 == u.segB1 && r.b2 == u.segB2 && r.sam == u.sam &&
+		r.ctl0 == u.ctl0 && r.cap == u.Cap
+}
+
 // runsForConfig returns the memoized run list for the current
-// configuration, computing and caching it on miss.
+// configuration, computing and caching it on miss. The last-served slot is
+// probed first: repeated queries under one configuration dominate.
 func (u *Unit) runsForConfig() *execRuns {
+	if r := &u.spanCache[u.spanLast]; r.matches(u) {
+		return r
+	}
 	for i := range u.spanCache {
 		r := &u.spanCache[i]
-		if r.valid && r.b1 == u.segB1 && r.b2 == u.segB2 && r.sam == u.sam &&
-			r.ctl0 == u.ctl0 && r.cap == u.Cap {
+		if r.matches(u) {
+			u.spanLast = i
 			return r
 		}
 	}
 	r := &u.spanCache[u.spanNext]
+	u.spanLast = u.spanNext
 	u.spanNext = (u.spanNext + 1) % len(u.spanCache)
 	*r = execRuns{b1: u.segB1, b2: u.segB2, sam: u.sam, ctl0: u.ctl0, cap: u.Cap, valid: true}
 

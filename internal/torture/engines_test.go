@@ -16,23 +16,29 @@ import (
 	"amuletiso/internal/mem"
 )
 
-// engineCfg is one cell of the {fusion, certificates} matrix the battery
-// sweeps. Fusion is a build-time property (it shapes the predecode cache),
-// certificates a run-time one (they shape the fetch path).
+// engineCfg is one cell of the {threading, fusion, certificates} matrix the
+// battery sweeps. Threading and fusion are build-time properties (they shape
+// the predecode cache), certificates a run-time one (they shape the fetch
+// path).
 type engineCfg struct {
-	name        string
-	fuse, certs bool
+	name                string
+	thread, fuse, certs bool
 }
 
 var engineMatrix = []engineCfg{
-	{"fused+certified", true, true},
-	{"fused+perword", true, false},
-	{"unfused+certified", false, true},
-	{"unfused+perword", false, false},
+	{"threaded+fused+certified", true, true, true},
+	{"threaded+fused+perword", true, true, false},
+	{"threaded+unfused+certified", true, false, true},
+	{"threaded+unfused+perword", true, false, false},
+	{"switch+fused+certified", false, true, true},
+	{"switch+fused+perword", false, true, false},
+	{"switch+unfused+certified", false, false, true},
+	{"switch+unfused+perword", false, false, false},
 }
 
 // resetEngines restores the production configuration.
 func resetEngines() {
+	isa.SetThreading(true)
 	isa.SetFusion(true)
 	mem.SetExecCerts(true)
 }
@@ -60,6 +66,7 @@ type engineFP struct {
 func fingerprintStandalone(t *testing.T, src string, mode cc.Mode, cfg engineCfg, withTrace bool) engineFP {
 	t.Helper()
 	defer resetEngines()
+	isa.SetThreading(cfg.thread)
 	isa.SetFusion(cfg.fuse)
 	mem.SetExecCerts(cfg.certs)
 
@@ -108,13 +115,14 @@ func fingerprintStandalone(t *testing.T, src string, mode cc.Mode, cfg engineCfg
 	return fp
 }
 
-// TestEngineEquivalenceBattery is the tentpole's lockdown: generated torture
+// TestEngineEquivalenceBattery is the engine lockdown: generated torture
 // programs — benign differential ones and fault-injecting adversarial ones —
-// must be byte-identical across {fused, unfused} × {certified, per-word}
-// under every isolation mode: exit state, cycle counts, instruction counts,
-// bus statistics, MPU violation state, final global bytes, and the complete
-// access trace (fused vs unfused; the certificate fast path is only taken
-// when no profiler observes accesses, so traces compare the fusion axis).
+// must be byte-identical across {threaded, switch} × {fused, unfused} ×
+// {certified, per-word} under every isolation mode: exit state, cycle
+// counts, instruction counts, bus statistics, MPU violation state, final
+// global bytes, and the complete access trace (compared across the threading
+// and fusion axes; the certificate fast path is only taken when no profiler
+// observes accesses, so traces cannot compare the certificate axis).
 func TestEngineEquivalenceBattery(t *testing.T) {
 	defer resetEngines()
 	nDiff, nAdv := 20, 12
@@ -142,12 +150,16 @@ func TestEngineEquivalenceBattery(t *testing.T) {
 							kind, i, mode, cfg.name, engineMatrix[0].name, ref, fp, c.Source)
 					}
 				}
-				// Trace pass: fused vs unfused under the profiling hook.
-				a := fingerprintStandalone(t, c.Source, mode, engineMatrix[0], true)
-				b := fingerprintStandalone(t, c.Source, mode, engineMatrix[2], true)
-				if a != b {
-					t.Fatalf("%s case %d %v: access traces diverged\n  fused:   %+v\n  unfused: %+v\n%s",
-						kind, i, mode, a, b, c.Source)
+				// Trace pass under the profiling hook: the certified cells
+				// of every {threading, fusion} combination must produce the
+				// identical access stream.
+				ref = fingerprintStandalone(t, c.Source, mode, engineMatrix[0], true)
+				for _, j := range []int{2, 4, 6} {
+					b := fingerprintStandalone(t, c.Source, mode, engineMatrix[j], true)
+					if ref != b {
+						t.Fatalf("%s case %d %v: access traces diverged\n  %s: %+v\n  %s: %+v\n%s",
+							kind, i, mode, engineMatrix[0].name, ref, engineMatrix[j].name, b, c.Source)
+					}
 				}
 			}
 		}
@@ -195,6 +207,7 @@ func TestCampaignByteIdenticalAcrossEngines(t *testing.T) {
 			}
 		}
 		for _, cfg := range engineMatrix {
+			isa.SetThreading(cfg.thread)
 			isa.SetFusion(cfg.fuse)
 			mem.SetExecCerts(cfg.certs)
 			check(cfg.name)
@@ -236,6 +249,7 @@ func TestCorpusReplayAcrossEngines(t *testing.T) {
 			}
 		}
 		for _, cfg := range engineMatrix {
+			isa.SetThreading(cfg.thread)
 			isa.SetFusion(cfg.fuse)
 			mem.SetExecCerts(cfg.certs)
 			replay(cfg.name)
