@@ -32,6 +32,7 @@ import (
 	"amuletiso/internal/isa"
 	"amuletiso/internal/kernel"
 	"amuletiso/internal/mem"
+	"amuletiso/internal/obs"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 	faultApp := flag.Int("fault-app", 0, "app index targeted by -fault-every")
 	maxFaults := flag.Int("max-faults", 3, "restart policy: faults before an app stays dead")
 	backoff := flag.Uint64("backoff", 1000, "restart policy: backoff before restart, ms")
+	repeat := flag.Int("repeat", 1, "run each scenario this many times (later runs boot from the warm build cache; for soak and live-metrics runs)")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON on stdout")
 	name := flag.String("name", "fleet", "scenario name recorded in the report")
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
@@ -54,6 +56,10 @@ func main() {
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
 	noBatch := flag.Bool("nobatch", false, "disable wear-window event batching (reports must be byte-identical either way)")
+	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s; 0 = off)")
+	faultTrace := flag.Bool("fault-trace", false, "attach per-device flight recorders and dump the last events of faulting devices into the report")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
@@ -61,6 +67,23 @@ func main() {
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
 	fleet.SetBatching(!*noBatch)
+	if *noObs {
+		obs.SetMetrics(false)
+		obs.SetTracing(false)
+	}
+
+	if *metricsAddr != "" {
+		bound, stopServe, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer stopServe()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
+	if *progressEvery > 0 {
+		stopProgress := startProgress(*progressEvery)
+		defer stopProgress()
+	}
 
 	modes, err := parseModes(*modeName)
 	if err != nil {
@@ -88,12 +111,19 @@ func main() {
 			ButtonEveryMS: *buttonEvery,
 			FaultEveryMS:  *faultEvery,
 			FaultApp:      *faultApp,
+			FaultTrace:    *faultTrace,
 			Policy:        &kernel.RestartPolicy{MaxFaults: *maxFaults, BackoffMS: *backoff},
 		}
 		start := time.Now()
-		rep, err := runner.Run(ctx, sc)
-		if err != nil {
-			fail(err)
+		var rep *fleet.Report
+		// Repeats are byte-identical re-runs (same seed, warm build cache);
+		// only the last report is kept.
+		for i := 0; i < *repeat || i == 0; i++ {
+			var err error
+			rep, err = runner.Run(ctx, sc)
+			if err != nil {
+				fail(err)
+			}
 		}
 		reports = append(reports, rep)
 		if !*jsonOut {
@@ -165,6 +195,10 @@ func printHuman(r *fleet.Report, elapsed time.Duration) {
 		r.CycleSummary.P99, r.CycleSummary.Max)
 	fmt.Printf("  weekly battery impact %%: p50=%.3f p99=%.3f max=%.3f\n",
 		r.BatterySummary.P50, r.BatterySummary.P99, r.BatterySummary.Max)
+	if ls := r.LatencySummary; ls.Count > 0 {
+		fmt.Printf("  event latency (cycles): p50=%d p90=%d p99=%d max=%d over %d events\n",
+			ls.P50, ls.P90, ls.P99, ls.Max, ls.Count)
+	}
 	if r.TotalFaults > 0 {
 		fmt.Printf("  faults=%d across %d devices\n", r.TotalFaults, r.DevicesFaulted)
 		classes := make([]string, 0, len(r.FaultClasses))
@@ -187,6 +221,27 @@ func printHuman(r *fleet.Report, elapsed time.Duration) {
 	rate := float64(r.Devices) / elapsed.Seconds()
 	fmt.Printf("  wall: %.2fs on %d CPUs (%.0f devices/sec)\n",
 		elapsed.Seconds(), runtime.GOMAXPROCS(0), rate)
+}
+
+// startProgress prints a periodic devices-done / instr-per-second line on
+// stderr, reading the same process-global counters /metrics serves.
+func startProgress(every time.Duration) (stop func()) {
+	counter := func(name string) func() uint64 {
+		if m := obs.Default.Lookup(name); m != nil {
+			return m.Value
+		}
+		return func() uint64 { return 0 }
+	}
+	done := counter(obs.MetricDevicesCompleted)
+	instr := counter(obs.MetricInstrSimulated)
+	lastInstr := instr()
+	return obs.StartProgress(os.Stderr, every, func() string {
+		now := instr()
+		delta := now - lastInstr
+		lastInstr = now
+		return fmt.Sprintf("progress: %d devices done, %s instructions (%s)",
+			done(), obs.Rate(delta, every), time.Now().Format("15:04:05"))
+	})
 }
 
 func fail(err error) {

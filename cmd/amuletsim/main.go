@@ -21,6 +21,7 @@ import (
 	"amuletiso/internal/cpu"
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
+	"amuletiso/internal/obs"
 )
 
 func main() {
@@ -33,12 +34,18 @@ func main() {
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
+	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
+	tracePath := flag.String("trace", "", "export the run as Chrome trace-event JSON to this file (kernel form)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	if *noObs {
+		obs.SetMetrics(false)
+		obs.SetTracing(false)
+	}
 
 	var mode cc.Mode
 	found := false
@@ -55,7 +62,7 @@ func main() {
 	case *mainFile != "":
 		runStandalone(*mainFile, mode, *budget)
 	case *appName != "":
-		runApp(*appName, mode, *ms)
+		runApp(*appName, mode, *ms, *tracePath)
 	default:
 		fmt.Fprintln(os.Stderr, "amuletsim: pass -main prog.c or -app name")
 		flag.Usage()
@@ -93,7 +100,7 @@ func runStandalone(path string, mode cc.Mode, budget uint64) {
 	}
 }
 
-func runApp(name string, mode cc.Mode, ms uint64) {
+func runApp(name string, mode cc.Mode, ms uint64, tracePath string) {
 	app, ok := amuletiso.AppByName(name)
 	if !ok {
 		fail(fmt.Errorf("no bundled app %q", name))
@@ -102,7 +109,26 @@ func runApp(name string, mode cc.Mode, ms uint64) {
 	if err != nil {
 		fail(err)
 	}
+	if tracePath != "" {
+		// Full-run export wants every event, not a post-mortem window: an
+		// unbounded recorder replaces whatever the boot hatch attached.
+		sys.Kernel.AttachRecorder(obs.NewRecorder(0))
+	}
 	n := sys.RunFor(ms)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteChromeTrace(f, sys.Kernel.Recorder().Events()); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d events exported to %s (load in chrome://tracing)\n",
+			sys.Kernel.Recorder().Len(), tracePath)
+	}
 	st := sys.App(0)
 	fmt.Printf("%s under %v: %d events in %d ms of wear\n", app.Title, mode, n, ms)
 	fmt.Printf("  dispatches=%d syscalls=%d active-cycles=%d alive=%v\n",
@@ -119,6 +145,21 @@ func runApp(name string, mode cc.Mode, ms uint64) {
 	for _, f := range sys.Kernel.Faults {
 		fmt.Printf("  FAULT app=%d at=%dms: %s\n", f.App, f.AtMS, f.Reason)
 	}
+	fmt.Println(" ", buildCounters())
+}
+
+// buildCounters renders the process-wide firmware-build and cache counters —
+// the same series /metrics exposes, for one-shot CLI output.
+func buildCounters() string {
+	c := func(name string) uint64 {
+		if m := obs.Default.Lookup(name); m != nil {
+			return m.Value()
+		}
+		return 0
+	}
+	return fmt.Sprintf("firmware builds: %d (%d cache hits); boot templates: %d built (%d cache hits)",
+		c(obs.MetricFirmwareBuilds), c(obs.MetricBuildCacheHits),
+		c(obs.MetricTemplateBuilds), c(obs.MetricTemplateHits))
 }
 
 func fail(err error) {

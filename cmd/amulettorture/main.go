@@ -31,6 +31,7 @@ import (
 	"amuletiso/internal/cpu"
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
+	"amuletiso/internal/obs"
 	"amuletiso/internal/torture"
 )
 
@@ -56,12 +57,33 @@ func main() {
 		"disable execute certificates (per-word fetch checks); campaigns must report identical bytes either way")
 	noThread := flag.Bool("nothread", false,
 		"disable threaded dispatch (switch-executor engine); campaigns must report identical bytes either way")
+	noObs := flag.Bool("noobs", false,
+		"disable observability (metrics and tracing); campaigns must report identical bytes either way")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	flag.Parse()
 
 	cpu.SetDecodeCache(!*noCache)
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	if *noObs {
+		obs.SetMetrics(false)
+		obs.SetTracing(false)
+	}
+
+	if *metricsAddr != "" {
+		bound, stopServe, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer stopServe()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
+	if *progressEvery > 0 {
+		stopProgress := startProgress(*progressEvery)
+		defer stopProgress()
+	}
 
 	if *emit != 0 {
 		c := torture.BuildCase(*emitKind, *emit, false)
@@ -120,6 +142,9 @@ func main() {
 			}
 		}
 	}
+	if !*jsonOut {
+		fmt.Println(buildCounters())
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -159,6 +184,37 @@ func saveFailures(dir, kind string, rep *torture.Report) error {
 		fmt.Fprintf(os.Stderr, "  wrote %s/%s.json\n", dir, c.Name)
 	}
 	return nil
+}
+
+// buildCounters renders the process-wide case and firmware-build counters —
+// the same series /metrics exposes, for one-shot CLI output.
+func buildCounters() string {
+	c := func(name string) uint64 {
+		if m := obs.Default.Lookup(name); m != nil {
+			return m.Value()
+		}
+		return 0
+	}
+	return fmt.Sprintf("cases executed: %d; firmware builds: %d (%d cache hits); boot templates: %d built (%d cache hits)",
+		c(obs.MetricTortureCase),
+		c(obs.MetricFirmwareBuilds), c(obs.MetricBuildCacheHits),
+		c(obs.MetricTemplateBuilds), c(obs.MetricTemplateHits))
+}
+
+// startProgress prints a periodic cases-executed line on stderr, reading the
+// same process-global counters /metrics serves.
+func startProgress(every time.Duration) (stop func()) {
+	cases := func() uint64 { return 0 }
+	if m := obs.Default.Lookup(obs.MetricTortureCase); m != nil {
+		cases = m.Value
+	}
+	lastCases := cases()
+	return obs.StartProgress(os.Stderr, every, func() string {
+		now := cases()
+		delta := now - lastCases
+		lastCases = now
+		return fmt.Sprintf("progress: %d cases executed (%s)", now, obs.Rate(delta, every))
+	})
 }
 
 func fail(err error) {

@@ -27,6 +27,7 @@ import (
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
 	"amuletiso/internal/mpu"
+	"amuletiso/internal/obs"
 )
 
 // AppSource is one application given to the toolchain.
@@ -125,8 +126,15 @@ type BuildError struct {
 
 func (e *BuildError) Error() string { return fmt.Sprintf("aft: app %q: %v", e.App, e.Err) }
 
+// mBuilds counts every full pipeline run in the process — cached fleet
+// builds and one-shot CLI builds alike (BuildCache hit counters tell the two
+// apart).
+var mBuilds = obs.Default.Counter(obs.MetricFirmwareBuilds,
+	"Full firmware build pipeline runs (compile, link, predecode).")
+
 // Build runs the full pipeline for the given isolation mode.
 func Build(apps []AppSource, mode cc.Mode) (*Firmware, error) {
+	mBuilds.Inc()
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("aft: no applications given")
 	}

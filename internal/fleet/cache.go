@@ -85,6 +85,7 @@ func (c *BuildCache) entry(key string) *cacheEntry {
 		c.entries[key] = e
 	} else {
 		c.hits++
+		mCacheHits.Inc()
 	}
 	return e
 }
@@ -128,8 +129,10 @@ func (c *BuildCache) Template(list []apps.App, mode cc.Mode) (*kernel.BootTempla
 	c.mu.Lock()
 	if built {
 		c.tmplBuilds++
+		mTemplateBuilds.Inc()
 	} else {
 		c.tmplHits++
+		mTemplateHits.Inc()
 	}
 	c.mu.Unlock()
 	return e.tmpl, nil

@@ -26,6 +26,7 @@ import (
 	"amuletiso/internal/apps"
 	"amuletiso/internal/cc"
 	"amuletiso/internal/kernel"
+	"amuletiso/internal/obs"
 )
 
 // ScheduledEvent is one entry of a scenario's event schedule, delivered to
@@ -76,6 +77,11 @@ type Scenario struct {
 	// > 0 — the knob watchdog-starvation sweeps use to land the watchdog at
 	// arbitrary points of a wear window.
 	WatchdogBudget uint64
+	// FaultTrace attaches a flight recorder to every device and embeds its
+	// last-events window into the DeviceResult of devices that faulted. It is
+	// the only way recorder data reaches a report: without it, results are
+	// byte-identical whether or not tracing is armed.
+	FaultTrace bool
 }
 
 // validate rejects scenarios the runner cannot execute.
@@ -200,7 +206,14 @@ func DeviceSeed(fleetSeed uint64, device int) uint32 {
 // event sequence — and therefore the DeviceResult — is identical.
 func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, device int) (DeviceResult, error) {
 	seed := DeviceSeed(sc.Seed, device)
+	mDevicesStarted.Inc()
 	k := tmpl.NewKernel(seed)
+	if sc.FaultTrace {
+		// Always a fresh recorder — even when global tracing already attached
+		// one at boot (which saw the boot-time posts this one won't) — so the
+		// dump is the same bytes whether or not tracing is armed.
+		k.AttachRecorder(obs.NewRecorder(obs.DefaultRing))
+	}
 	if sc.Policy != nil {
 		k.Policy = *sc.Policy
 	}
@@ -265,6 +278,7 @@ func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, devi
 		Insns:            k.CPU.Insns,
 		OSCycles:         k.OSCycles,
 		Faults:           len(k.Faults),
+		Latency:          k.Latency,
 		WeeklyBatteryPct: batteryPct(cycles, sc.DurationMS),
 	}
 	for _, a := range k.Apps {
@@ -276,8 +290,18 @@ func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, devi
 		res.FaultReasons = append(res.FaultReasons, f.Reason)
 		res.FaultClasses = append(res.FaultClasses, f.Class.String())
 	}
+	if sc.FaultTrace && len(k.Faults) > 0 {
+		res.FaultTrace = k.Recorder().Dump(faultTraceWindow)
+	}
+	mDevicesCompleted.Inc()
+	mInstrSimulated.Add(k.CPU.Insns)
+	mWearMS.Add(sc.DurationMS)
 	return res, nil
 }
+
+// faultTraceWindow is how many trailing flight-recorder events a faulting
+// device's DeviceResult carries when Scenario.FaultTrace is set.
+const faultTraceWindow = 64
 
 // injectStart returns the first firing time of a periodic injection knob, or
 // an effectively-never sentinel when the knob is off.

@@ -1,0 +1,24 @@
+package fleet
+
+import "amuletiso/internal/obs"
+
+// Process-wide fleet metrics: run progress (the `-metrics-addr` /metrics and
+// progress-line series) and build-cache effectiveness. Deterministic
+// aggregates live in Report; these exist for live observation only.
+var (
+	mDevicesStarted = obs.Default.Counter(obs.MetricDevicesStarted,
+		"Device simulations started.")
+	mDevicesCompleted = obs.Default.Counter(obs.MetricDevicesCompleted,
+		"Device simulations completed.")
+	mInstrSimulated = obs.Default.Counter(obs.MetricInstrSimulated,
+		"Simulated instructions retired across all devices.")
+	mWearMS = obs.Default.Counter(obs.MetricWearMS,
+		"Virtual wear-window milliseconds simulated across all devices.")
+
+	mCacheHits = obs.Default.Counter(obs.MetricBuildCacheHits,
+		"Firmware build-cache hits.")
+	mTemplateBuilds = obs.Default.Counter(obs.MetricTemplateBuilds,
+		"Boot templates captured.")
+	mTemplateHits = obs.Default.Counter(obs.MetricTemplateHits,
+		"Boot-template cache hits.")
+)

@@ -6,6 +6,7 @@ import (
 
 	"amuletiso/internal/arp"
 	"amuletiso/internal/energy"
+	"amuletiso/internal/obs"
 )
 
 // DeviceResult is the outcome of simulating one device: the accounting the
@@ -29,6 +30,17 @@ type DeviceResult struct {
 	// FaultClasses mirrors FaultReasons with the kernel's per-layer
 	// attribution (check/gate/mpu/watchdog/injected/...).
 	FaultClasses []string `json:"faultClasses,omitempty"`
+
+	// Latency is the device's post→dispatch latency histogram in simulated
+	// cycles — deterministic simulation output like every other field, never
+	// wall-clock.
+	Latency obs.CycleHist `json:"latency"`
+
+	// FaultTrace is the flight recorder's last-events window around this
+	// device's faults, present only when the scenario requested it
+	// (Scenario.FaultTrace) and the device faulted. It never appears
+	// otherwise, so reports stay byte-identical across tracing settings.
+	FaultTrace []obs.DumpEvent `json:"faultTrace,omitempty"`
 
 	// WeeklyBatteryPct projects this device's active-cycle load, extrapolated
 	// to a week of wear, onto the battery model's weekly energy budget.
@@ -105,7 +117,23 @@ type Report struct {
 	CycleSummary   Summary `json:"cycleSummary"`
 	BatterySummary Summary `json:"batterySummary"`
 
+	// Latency is the fleet-wide merge of every device's post→dispatch
+	// histogram; LatencySummary gives its cycle-domain percentiles (bucket
+	// upper bounds) — the ISC-FLAT interrupt-latency view per isolation mode.
+	Latency        obs.CycleHist  `json:"latency"`
+	LatencySummary LatencySummary `json:"latencySummary"`
+
 	PerDevice []DeviceResult `json:"perDevice"`
+}
+
+// LatencySummary holds cycle-domain order statistics of a merged latency
+// histogram. Quantiles are bucket upper bounds (nearest-rank), Max is exact.
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+	Max   uint64 `json:"max"`
 }
 
 // finalize recomputes every aggregate from PerDevice, which it sorts by
@@ -148,6 +176,17 @@ func (r *Report) finalize() {
 	}
 	r.CycleSummary = summarize(cycles)
 	r.BatterySummary = summarize(battery)
+	r.Latency = obs.CycleHist{}
+	for i := range r.PerDevice {
+		r.Latency.Merge(&r.PerDevice[i].Latency)
+	}
+	r.LatencySummary = LatencySummary{
+		Count: r.Latency.Count(),
+		P50:   r.Latency.Quantile(0.50),
+		P90:   r.Latency.Quantile(0.90),
+		P99:   r.Latency.Quantile(0.99),
+		Max:   r.Latency.Max,
+	}
 }
 
 // Merge folds another shard of the same scenario into r. The shards must

@@ -23,6 +23,7 @@ import (
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
 	"amuletiso/internal/mpu"
+	"amuletiso/internal/obs"
 )
 
 // CyclesPerMS converts active CPU cycles to milliseconds (8 MHz MCLK, the
@@ -43,6 +44,9 @@ type Event struct {
 	Arg    uint16
 	Period uint64 // ms; >0 reschedules after delivery
 	seq    uint64
+	// postCycles is the CPU cycle count when the event was enqueued — the
+	// anchor for the post→dispatch latency histogram.
+	postCycles uint64
 }
 
 // eventQueue is a typed binary min-heap of events ordered by (Due, seq) —
@@ -190,6 +194,12 @@ type Kernel struct {
 	// default; harnesses that hunt runaway handlers lower it.
 	WatchdogBudget uint64
 
+	// Latency is the post→dispatch latency histogram in simulated cycles: for
+	// each delivered event, how long it sat deliverable (due and ready) before
+	// its handler started. A pure function of the simulation — always on, and
+	// safe to merge into deterministic fleet reports.
+	Latency obs.CycleHist
+
 	queue      eventQueue
 	seq        uint64
 	rng        uint32
@@ -200,6 +210,8 @@ type Kernel struct {
 	timerSeq   uint16
 	OSCycles   uint64 // modeled scheduler cycles
 	dispatchC0 uint64 // cycle count at dispatch start (for in-event time)
+	nowCycles  uint64 // cycle count when NowMS last advanced
+	rec        *obs.Recorder
 }
 
 // kernelPorts is the kernel's memory-mapped device (fault/yield ports).
@@ -307,6 +319,9 @@ func bootKernel(fw *aft.Firmware, seed uint32, bus *mem.Bus) *Kernel {
 	// the live decoder on this device only.
 	c.UseProgram(fw.Text)
 	c.OnSyscall = k.service
+	if obs.TracingEnabled() {
+		k.AttachRecorder(obs.NewRecorder(obs.DefaultRing))
+	}
 
 	for i, info := range fw.Apps {
 		app := &AppState{Info: info, Alive: true, Subs: map[uint16]uint64{}}
@@ -319,8 +334,12 @@ func bootKernel(fw *aft.Firmware, seed uint32, bus *mem.Bus) *Kernel {
 // post enqueues an event.
 func (k *Kernel) post(e Event) {
 	e.seq = k.seq
+	e.postCycles = k.CPU.Cycles
 	k.seq++
 	k.queue.push(e)
+	if k.rec != nil {
+		k.rec.Record(k.CPU.Cycles, obs.KindEventPost, int16(e.App), e.Code, e.Arg)
+	}
 }
 
 // Post schedules an event from the outside (tests, examples).
@@ -404,12 +423,18 @@ func (k *Kernel) stepUntil(deadline uint64) bool {
 		e := k.queue.pop()
 		if e.Due > k.NowMS {
 			k.NowMS = e.Due
+			k.nowCycles = k.CPU.Cycles
 		}
 		app := k.Apps[e.App]
 		if !app.Alive {
 			if app.restartAt != 0 && k.NowMS >= app.restartAt && app.Faults <= k.Policy.MaxFaults {
 				app.Alive = true
 				app.restartAt = 0
+				k.observeLatency(&e)
+				if k.rec != nil {
+					k.rec.Record(k.CPU.Cycles, obs.KindRestart, int16(e.App), 0, uint16(app.Faults))
+				}
+				mRestarts.Inc()
 				k.deliver(e.App, abi.EvInit, 0)
 			}
 			// A periodic schedule must survive the backoff window: re-arm
@@ -421,6 +446,7 @@ func (k *Kernel) stepUntil(deadline uint64) bool {
 			}
 			continue
 		}
+		k.observeLatency(&e)
 		k.deliver(e.App, e.Code, e.Arg)
 		// Same re-arm rule as the dead-app branch above: a pending restart
 		// keeps the schedule, even when this very delivery faulted.
@@ -433,6 +459,20 @@ func (k *Kernel) stepUntil(deadline uint64) bool {
 	return false
 }
 
+// observeLatency records how long a popped event sat deliverable before its
+// handler starts: from the later of its post and the moment virtual time
+// reached its due millisecond (an event cannot be "waiting" before it is
+// due), to now. Promptly delivered events score 0; events queued behind a
+// long handler in the same millisecond score the backlog they sat through —
+// the interrupt-latency measure isolation overhead is judged against.
+func (k *Kernel) observeLatency(e *Event) {
+	ready := e.postCycles
+	if k.nowCycles > ready {
+		ready = k.nowCycles
+	}
+	k.Latency.Observe(k.CPU.Cycles - ready)
+}
+
 // RunUntil processes queued events until virtual time reaches deadlineMS or
 // the queue drains. It returns the number of events delivered.
 func (k *Kernel) RunUntil(deadlineMS uint64) int {
@@ -442,6 +482,7 @@ func (k *Kernel) RunUntil(deadlineMS uint64) int {
 	}
 	if k.NowMS < deadlineMS {
 		k.NowMS = deadlineMS
+		k.nowCycles = k.CPU.Cycles
 	}
 	return n
 }
@@ -471,6 +512,7 @@ func (k *Kernel) RunBatch(deadlineMS uint64, max int) (delivered int, more bool)
 	}
 	if k.NowMS < deadlineMS {
 		k.NowMS = deadlineMS
+		k.nowCycles = k.CPU.Cycles
 	}
 	return delivered, false
 }
@@ -510,6 +552,10 @@ func (k *Kernel) deliver(appIdx int, code, arg uint16) {
 	start := k.CPU.Cycles
 	k.dispatchC0 = start
 	app.Dispatches++
+	mDispatches.Inc()
+	if k.rec != nil {
+		k.rec.Record(start, obs.KindDispatch, int16(appIdx), code, arg)
+	}
 
 	faultsBefore := len(k.Faults)
 	reason, fault := k.CPU.Run(k.WatchdogBudget)
@@ -548,6 +594,9 @@ func (k *Kernel) deliver(appIdx int, code, arg uint16) {
 	// Clear latched MPU flags and restore the OS plan for the next event.
 	k.MPU.WriteWord(mpu.RegCTL1, 0)
 	k.osPlan()
+	if k.rec != nil {
+		k.rec.Record(k.CPU.Cycles, obs.KindDispatchDone, int16(appIdx), code, 0)
+	}
 }
 
 // recordFault applies the restart policy to a faulting app.
@@ -556,6 +605,13 @@ func (k *Kernel) recordFault(appIdx int, reason string, class FaultClass) {
 	app.Faults++
 	app.Alive = false
 	k.Faults = append(k.Faults, FaultRecord{App: appIdx, AtMS: k.NowMS, Reason: reason, Class: class})
+	mFaults.With(class.String()).Inc()
+	if class == FaultWatchdog {
+		mWatchdog.Inc()
+	}
+	if k.rec != nil {
+		k.rec.Record(k.CPU.Cycles, obs.KindFault, int16(appIdx), uint16(class), 0)
+	}
 	if k.Policy.MaxFaults > 0 && app.Faults <= k.Policy.MaxFaults {
 		app.restartAt = k.NowMS + k.Policy.BackoffMS
 		// A queued wake-up guarantees the restart triggers even if no other

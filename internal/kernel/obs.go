@@ -1,0 +1,40 @@
+package kernel
+
+import (
+	"amuletiso/internal/obs"
+)
+
+// Process-wide kernel metrics. These aggregate across every kernel in the
+// process (a fleet run hosts thousands); per-device numbers stay in AppState
+// and DeviceResult, which remain the deterministic source of truth.
+var (
+	mDispatches = obs.Default.Counter(obs.MetricDispatches,
+		"Events delivered through the dispatch veneer, all devices.")
+	mSyscalls = obs.Default.Counter(obs.MetricSyscalls,
+		"OS service calls through the syscall port, all devices.")
+	mFaults = obs.Default.CounterVec(obs.MetricFaults,
+		"Isolation faults by attributed layer, all devices.", "class")
+	mWatchdog = obs.Default.Counter(obs.MetricWatchdogTrips,
+		"Event handlers killed for exceeding the watchdog cycle budget.")
+	mRestarts = obs.Default.Counter(obs.MetricRestarts,
+		"App restarts performed by the restart policy.")
+)
+
+// AttachRecorder installs (or, with nil, removes) a flight recorder on this
+// kernel. The recorder observes the kernel from outside the simulation:
+// recording an event never touches CPU, bus, or MPU state, so a traced run is
+// cycle-for-cycle identical to an untraced one. Gate crossings are captured
+// by hooking the MPU's configuration callback.
+func (k *Kernel) AttachRecorder(r *obs.Recorder) {
+	k.rec = r
+	if r == nil {
+		k.MPU.OnConfig = nil
+		return
+	}
+	k.MPU.OnConfig = func() {
+		r.Record(k.CPU.Cycles, obs.KindGateCross, int16(k.curApp), 0, 0)
+	}
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (k *Kernel) Recorder() *obs.Recorder { return k.rec }

@@ -1,0 +1,202 @@
+package kernel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"amuletiso/internal/aft"
+	"amuletiso/internal/cc"
+	"amuletiso/internal/obs"
+)
+
+// TestRecorderAttachesUnderTracing verifies the boot-time hatch: kernels
+// booted with tracing armed carry a flight recorder, kernels booted without
+// do not.
+func TestRecorderAttachesUnderTracing(t *testing.T) {
+	k := build(t, cc.ModeMPU, aft.AppSource{Name: "counter", Source: counterApp})
+	if k.Recorder() != nil {
+		t.Fatal("recorder attached with tracing off")
+	}
+	obs.SetTracing(true)
+	defer obs.SetTracing(false)
+	k = build(t, cc.ModeMPU, aft.AppSource{Name: "counter", Source: counterApp})
+	if k.Recorder() == nil {
+		t.Fatal("tracing armed but no recorder attached at boot")
+	}
+}
+
+// TestTracedRunIsCycleIdentical is the zero-perturbation lock: the same
+// workload with and without a recorder must retire the same instructions,
+// burn the same cycles, and produce the same latency histogram.
+func TestTracedRunIsCycleIdentical(t *testing.T) {
+	run := func(traced bool) *Kernel {
+		obs.SetTracing(traced)
+		defer obs.SetTracing(false)
+		k := build(t, cc.ModeMPU,
+			aft.AppSource{Name: "counter", Source: counterApp},
+			aft.AppSource{Name: "hr", Source: hrApp})
+		k.RunUntil(3000)
+		return k
+	}
+	plain, traced := run(false), run(true)
+	if plain.CPU.Cycles != traced.CPU.Cycles || plain.CPU.Insns != traced.CPU.Insns {
+		t.Fatalf("tracing perturbed the machine: cycles %d vs %d, insns %d vs %d",
+			plain.CPU.Cycles, traced.CPU.Cycles, plain.CPU.Insns, traced.CPU.Insns)
+	}
+	if plain.Latency != traced.Latency {
+		t.Fatalf("tracing perturbed the latency histogram:\n  plain:  %+v\n  traced: %+v",
+			plain.Latency, traced.Latency)
+	}
+	if traced.Recorder().Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+}
+
+// TestRecorderCapturesKernelLife asserts the recorder sees every event
+// family a normal run produces: posts, dispatch spans, syscall spans, and
+// gate crossings.
+func TestRecorderCapturesKernelLife(t *testing.T) {
+	obs.SetTracing(true)
+	defer obs.SetTracing(false)
+	k := build(t, cc.ModeMPU, aft.AppSource{Name: "counter", Source: counterApp})
+	k.RunUntil(500)
+	kinds := map[obs.Kind]int{}
+	for _, ev := range k.Recorder().Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []obs.Kind{
+		obs.KindEventPost, obs.KindDispatch, obs.KindDispatchDone,
+		obs.KindSyscall, obs.KindSyscallRet, obs.KindGateCross,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v events recorded (%v)", want, kinds)
+		}
+	}
+	if kinds[obs.KindSyscall] != kinds[obs.KindSyscallRet] {
+		t.Errorf("unbalanced syscall spans: %d entries, %d returns",
+			kinds[obs.KindSyscall], kinds[obs.KindSyscallRet])
+	}
+}
+
+// TestRecorderFaultAndRestart drives the restart policy and asserts the
+// recorder's fault event carries the fault class and a restart event
+// follows.
+func TestRecorderFaultAndRestart(t *testing.T) {
+	obs.SetTracing(true)
+	defer obs.SetTracing(false)
+	k := build(t, cc.ModeMPU, aft.AppSource{Name: "counter", Source: counterApp})
+	k.Policy = RestartPolicy{MaxFaults: 3, BackoffMS: 100}
+	k.RunUntil(50)
+	k.InjectFault(0, "test fault")
+	// Scan shortly after the restart fires: gate crossings are chatty enough
+	// that a long tail of dispatches would wrap the fault out of the ring —
+	// which is exactly why fleet fault dumps are taken at window end, not
+	// replayed later.
+	k.RunUntil(200)
+
+	var fault, restart *obs.TraceEvent
+	for _, ev := range k.Recorder().Events() {
+		ev := ev
+		switch ev.Kind {
+		case obs.KindFault:
+			if fault == nil {
+				fault = &ev
+			}
+		case obs.KindRestart:
+			restart = &ev
+		}
+	}
+	if fault == nil {
+		t.Fatal("no fault event recorded")
+	}
+	if FaultClass(fault.A) != FaultInjected {
+		t.Fatalf("fault event class = %v, want injected", FaultClass(fault.A))
+	}
+	if restart == nil {
+		t.Fatal("no restart event recorded after backoff")
+	}
+	k.RunUntil(1000)
+	if !k.Apps[0].Alive {
+		t.Fatal("app did not restart")
+	}
+}
+
+// TestLatencyHistogram locks the semantics: every delivered event is one
+// sample, prompt deliveries score near zero, and an event queued behind a
+// same-millisecond handler scores that handler's backlog.
+func TestLatencyHistogram(t *testing.T) {
+	k := build(t, cc.ModeMPU,
+		aft.AppSource{Name: "a", Source: counterApp},
+		aft.AppSource{Name: "b", Source: counterApp})
+	delivered := k.RunUntil(1000)
+	if got := k.Latency.Count(); got != uint64(delivered) {
+		t.Fatalf("latency samples = %d, delivered events = %d", got, delivered)
+	}
+	// Both apps arm timers at the same milliseconds: whichever event of each
+	// due pair runs second waited through the first's whole handler, so the
+	// histogram cannot be all-zero.
+	if k.Latency.Max == 0 {
+		t.Fatal("two same-ms apps produced no queueing latency at all")
+	}
+	if k.Latency.Sum == 0 {
+		t.Fatal("latency sum is zero despite nonzero max")
+	}
+}
+
+// TestChromeTraceExport runs a real workload under an unbounded recorder and
+// checks the export is valid Chrome trace JSON with balanced dispatch spans.
+func TestChromeTraceExport(t *testing.T) {
+	k := build(t, cc.ModeMPU, aft.AppSource{Name: "counter", Source: counterApp})
+	k.AttachRecorder(obs.NewRecorder(0))
+	k.RunUntil(1000)
+
+	var sb strings.Builder
+	if err := obs.WriteChromeTrace(&sb, k.Recorder().Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	begins, ends := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced spans: %d B, %d E", begins, ends)
+	}
+}
+
+// TestLatencyDeterministicAcrossBatching locks the nowCycles bookkeeping: a
+// RunBatch loop must produce the same latency histogram as one RunUntil.
+func TestLatencyDeterministicAcrossBatching(t *testing.T) {
+	mk := func() *Kernel {
+		return build(t, cc.ModeMPU,
+			aft.AppSource{Name: "a", Source: counterApp},
+			aft.AppSource{Name: "hr", Source: hrApp})
+	}
+	whole := mk()
+	whole.RunUntil(3000)
+
+	batched := mk()
+	for {
+		if _, more := batched.RunBatch(3000, 3); !more {
+			break
+		}
+	}
+	if whole.Latency != batched.Latency {
+		t.Fatalf("latency differs across delivery APIs:\n  RunUntil: %+v\n  RunBatch: %+v",
+			whole.Latency, batched.Latency)
+	}
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"amuletiso/internal/abi"
 	"amuletiso/internal/isa"
+	"amuletiso/internal/obs"
 )
 
 // Service cycle costs: the modeled execution cost of each OS service body
@@ -37,8 +38,15 @@ const MaxLogArg = 64
 func (k *Kernel) service(id uint16) {
 	app := k.Apps[k.curApp]
 	app.Syscalls++
+	mSyscalls.Inc()
 	k.CPU.Cycles += svcCost[id]
 	k.OSCycles += svcCost[id]
+	if k.rec != nil {
+		k.rec.Record(k.CPU.Cycles, obs.KindSyscall, int16(k.curApp), id, 0)
+		defer func() {
+			k.rec.Record(k.CPU.Cycles, obs.KindSyscallRet, int16(k.curApp), id, k.CPU.Regs[isa.R12])
+		}()
+	}
 
 	arg := func(i int) uint16 { return k.CPU.Regs[isa.R12+isa.Reg(i)] }
 	ret := func(v uint16) { k.CPU.Regs[isa.R12] = v }

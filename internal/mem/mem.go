@@ -332,6 +332,7 @@ func (b *Bus) touchCode(lo, hi uint16) {
 		// self-modifying and adversarial pokes always fall back to the
 		// per-word oracle alongside the live decoder.
 		b.DropExecCert()
+		mWatchInval.Inc()
 		clo, chi := lo, hi
 		if clo < r.Lo {
 			clo = r.Lo
@@ -528,7 +529,12 @@ func (b *Bus) execCertified(addr, size uint16) bool {
 // generation, forcing per-word checks until the next plan change
 // re-certifies. The code watch calls it on any write into watched text;
 // exported for tests and tooling.
-func (b *Bus) DropExecCert() { b.certLo, b.certHi = 1, 0 }
+func (b *Bus) DropExecCert() {
+	if b.certHi > b.certLo {
+		mCertDrops.Inc()
+	}
+	b.certLo, b.certHi = 1, 0
+}
 
 // ExecCert returns the current certified execute span and whether it is
 // non-empty — introspection for the certificate-invalidation tests.

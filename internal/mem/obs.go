@@ -1,0 +1,14 @@
+package mem
+
+import "amuletiso/internal/obs"
+
+// Process-wide memory-system metrics: how often adversarial or
+// self-modifying writes force the execute-certificate and predecode-cache
+// machinery to give up its fast paths. Both sit on rare invalidation paths,
+// never on the per-access path.
+var (
+	mCertDrops = obs.Default.Counter(obs.MetricCertDrops,
+		"Non-empty execute certificates voided by writes into watched code.")
+	mWatchInval = obs.Default.Counter(obs.MetricWatchInval,
+		"Code-watch invalidations delivered to predecode caches.")
+)

@@ -155,6 +155,11 @@ type Unit struct {
 	// OnViolation, if set, is invoked after a violation flag latches.
 	OnViolation func(v *mem.Violation)
 
+	// OnConfig, if set, is invoked after every configuration-generation bump
+	// (register-protocol writes and Go-side Configure calls alike) — the
+	// flight recorder's gate-crossing hook. Observers must not touch the unit.
+	OnConfig func()
+
 	violations uint64
 }
 
@@ -165,6 +170,14 @@ func New() *Unit {
 
 // DeviceName implements mem.Device.
 func (u *Unit) DeviceName() string { return "mpu" }
+
+// bump advances the configuration generation and notifies any observer.
+func (u *Unit) bump() {
+	u.gen++
+	if u.OnConfig != nil {
+		u.OnConfig()
+	}
+}
 
 // ReadWord implements mem.Device.
 func (u *Unit) ReadWord(addr uint16) uint16 {
@@ -193,7 +206,7 @@ func (u *Unit) WriteWord(addr uint16, v uint16) {
 			return
 		}
 		u.ctl0 = v & (CtlEnable | CtlLock)
-		u.gen++
+		u.bump()
 		return
 	}
 	if u.ctl0&CtlLock != 0 {
@@ -206,13 +219,13 @@ func (u *Unit) WriteWord(addr uint16, v uint16) {
 		u.ctl1 &= v // write-0-to-clear: flags only, no permission change
 	case RegSEGB2:
 		u.segB2 = v &^ (Granularity - 1)
-		u.gen++
+		u.bump()
 	case RegSEGB1:
 		u.segB1 = v &^ (Granularity - 1)
-		u.gen++
+		u.bump()
 	case RegSAM:
 		u.sam = v
-		u.gen++
+		u.bump()
 	}
 }
 
@@ -239,7 +252,7 @@ func (u *Unit) Configure(b1, b2, sam uint16, enable bool) {
 	} else {
 		u.ctl0 &^= CtlEnable
 	}
-	u.gen++
+	u.bump()
 }
 
 // segmentOf classifies an address: 0 = InfoMem, 1..3 = main segments,

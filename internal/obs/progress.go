@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress emits line() to w every interval until the returned stop
+// func is called. CLIs use it for the periodic devices-done / instr-per-sec
+// line on stderr during long fleet runs.
+func StartProgress(w io.Writer, every time.Duration, line func() string) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, line())
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+}
+
+// Rate renders a per-second rate from a delta over an interval, with SI-ish
+// scaling for readability (e.g. "12.3M/s").
+func Rate(delta uint64, interval time.Duration) string {
+	if interval <= 0 {
+		return "0/s"
+	}
+	r := float64(delta) / interval.Seconds()
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.1fG/s", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk/s", r/1e3)
+	}
+	return fmt.Sprintf("%.0f/s", r)
+}

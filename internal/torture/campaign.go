@@ -7,7 +7,13 @@ import (
 	"strings"
 
 	"amuletiso/internal/fleet"
+	"amuletiso/internal/obs"
 )
+
+// mCases counts torture cases executed across all campaigns in the process —
+// the series amulettorture's progress line and /metrics endpoint report.
+var mCases = obs.Default.Counter(obs.MetricTortureCase,
+	"Torture cases executed across all campaigns.")
 
 // Config shapes one torture campaign.
 type Config struct {
@@ -104,6 +110,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			cfg.RestrictedEvery > 0 && gi%cfg.RestrictedEvery == 0
 		c, p := buildCaseProg(cfg.Kind, caseSeed(cfg.Seed, gi), restricted)
 		out := Execute(c)
+		mCases.Inc()
 		out.Index = gi
 		if !out.Pass {
 			out.Source = c.Source

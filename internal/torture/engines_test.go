@@ -14,6 +14,7 @@ import (
 	"amuletiso/internal/cpu"
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
+	"amuletiso/internal/obs"
 )
 
 // engineCfg is one cell of the {threading, fusion, certificates} matrix the
@@ -216,6 +217,15 @@ func TestCampaignByteIdenticalAcrossEngines(t *testing.T) {
 		cpu.SetDecodeCache(false)
 		check("nodecodecache")
 		cpu.SetDecodeCache(true)
+		// The {obs, noobs} axis: campaign bytes must not depend on whether
+		// flight recorders are armed or metrics enabled. Tracing only touches
+		// kernel-hosted paths, so the production engine cell suffices.
+		obs.SetTracing(true)
+		check("obs")
+		obs.SetTracing(false)
+		obs.SetMetrics(false)
+		check("noobs")
+		obs.SetMetrics(true)
 	}
 }
 
@@ -258,5 +268,11 @@ func TestCorpusReplayAcrossEngines(t *testing.T) {
 		cpu.SetDecodeCache(false)
 		replay("nodecodecache")
 		cpu.SetDecodeCache(true)
+		// Tracing-armed replay: identical outcomes, and hosted cases
+		// additionally run the flight-recorder second-witness check inside
+		// executeHosted (a recorder/oracle disagreement fails the case).
+		obs.SetTracing(true)
+		replay("obs")
+		obs.SetTracing(false)
 	}
 }

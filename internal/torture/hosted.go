@@ -7,6 +7,7 @@ import (
 	"amuletiso/internal/aft"
 	"amuletiso/internal/cc"
 	"amuletiso/internal/kernel"
+	"amuletiso/internal/obs"
 )
 
 // hostedAppName is the application name hosted cases are built under.
@@ -35,6 +36,17 @@ func layerOfFaultClass(c kernel.FaultClass) Layer {
 		return LayerCPU
 	}
 	return LayerNone
+}
+
+// lastFaultClass scans a recorder dump (oldest first) for the most recent
+// fault event and decodes its class.
+func lastFaultClass(evs []obs.DumpEvent) (kernel.FaultClass, bool) {
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == obs.KindFault.String() {
+			return kernel.FaultClass(evs[i].A), true
+		}
+	}
+	return 0, false
 }
 
 // executeHosted runs an adversarial handle_event app under the full
@@ -76,6 +88,22 @@ func executeHosted(c *Case, out *Outcome) {
 		observed := LayerNone
 		if len(k.Faults) > 0 {
 			observed = layerOfFaultClass(k.Faults[0].Class)
+		}
+		// Second witness: when a flight recorder is attached (tracing armed),
+		// its fault event must attribute the same class the kernel's fault
+		// record does — the recorder may never tell a different story than
+		// the attribution oracle.
+		if rec := k.Recorder(); rec != nil && len(k.Faults) > 0 {
+			if cls, ok := lastFaultClass(rec.Dump(0)); !ok {
+				out.fail("recorder-mismatch",
+					fmt.Sprintf("%v: kernel recorded a fault but the flight recorder holds no fault event", mode))
+				return
+			} else if cls != k.Faults[0].Class {
+				out.fail("recorder-mismatch",
+					fmt.Sprintf("%v: flight recorder attributes %v, fault record %v",
+						mode, cls, k.Faults[0].Class))
+				return
+			}
 		}
 		out.Expected[mode.String()] = expected
 		out.Observed[mode.String()] = observed

@@ -1,0 +1,54 @@
+package torture
+
+import (
+	"testing"
+
+	"amuletiso/internal/kernel"
+	"amuletiso/internal/obs"
+)
+
+// TestRecorderSecondWitness replays the committed corpus with tracing armed:
+// every hosted case then runs executeHosted's flight-recorder cross-check —
+// the recorder's fault event must attribute the same FaultClass as the
+// kernel's fault record, or the case fails as recorder-mismatch. A green
+// replay is the corpus-level assertion that the recorder is a faithful
+// second witness to the attribution oracle.
+func TestRecorderSecondWitness(t *testing.T) {
+	obs.SetTracing(true)
+	defer obs.SetTracing(false)
+	cases, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted := 0
+	for _, c := range cases {
+		if c.Kind != KindHosted {
+			continue
+		}
+		hosted++
+		out := Execute(c)
+		if !out.Pass {
+			t.Errorf("hosted corpus case %s under tracing: [%s] %s",
+				c.Name, out.Category, out.Reason)
+		}
+	}
+	if hosted == 0 {
+		t.Fatal("corpus has no hosted cases; the second-witness check never ran")
+	}
+}
+
+// TestLastFaultClass covers the dump-scanning helper the witness check uses.
+func TestLastFaultClass(t *testing.T) {
+	if _, ok := lastFaultClass(nil); ok {
+		t.Fatal("empty dump should have no fault class")
+	}
+	evs := []obs.DumpEvent{
+		{Kind: obs.KindDispatch.String()},
+		{Kind: obs.KindFault.String(), A: uint16(kernel.FaultMPU)},
+		{Kind: obs.KindGateCross.String()},
+	}
+	cls, ok := lastFaultClass(evs)
+	if !ok || cls != kernel.FaultMPU {
+		t.Fatalf("lastFaultClass = %v, %t; want mpu, true", cls, ok)
+	}
+}
