@@ -47,6 +47,11 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytes/op"`              // heap bytes allocated per operation
 	WallSeconds float64 `json:"wall_seconds"`          // total measured wall time
 	OverheadPct float64 `json:"overheadPct,omitempty"` // paired benches: percent over the reference op
+
+	// DirtyPagesPerDev is the mean number of 256-byte COW pages a device
+	// dirtied (boot benches only): the per-device memory footprint the COW
+	// work tracks. 256 (the whole address space) under -nocow.
+	DirtyPagesPerDev float64 `json:"dirtyPages/dev,omitempty"`
 }
 
 // Snapshot is the file-level schema of BENCH_<date>.json.
@@ -60,6 +65,7 @@ type Snapshot struct {
 	Batching    bool     `json:"batching"`
 	Metrics     bool     `json:"metrics"`
 	Tracing     bool     `json:"tracing"`
+	COW         bool     `json:"cow"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -74,6 +80,7 @@ func main() {
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine)")
 	noBatch := flag.Bool("nobatch", false, "disable fleet wear-window batching")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics; tracing stays per-benchmark)")
+	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat 64KiB clones, the memory oracle)")
 	force := flag.Bool("force", false, "overwrite an existing snapshot file")
 	baseline := flag.String("baseline", "", "compare instr/s against this committed snapshot and fail on drift")
 	tolerance := flag.Float64("tolerance", 50,
@@ -87,6 +94,7 @@ func main() {
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
 	fleet.SetBatching(!*noBatch)
+	mem.SetCOW(!*noCOW)
 	if *noObs {
 		obs.SetMetrics(false)
 	}
@@ -116,6 +124,9 @@ func main() {
 		if *noObs {
 			parts = append(parts, "noobs")
 		}
+		if *noCOW {
+			parts = append(parts, "nocow")
+		}
 		*label = strings.Join(parts, "-")
 	}
 
@@ -129,6 +140,7 @@ func main() {
 		Batching:    fleet.BatchingEnabled(),
 		Metrics:     obs.MetricsEnabled(),
 		Tracing:     obs.TracingEnabled(),
+		COW:         mem.COWEnabled(),
 	}
 	for _, b := range benches {
 		var res Result
@@ -140,6 +152,9 @@ func main() {
 		}
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", b.name, err))
+		}
+		if b.finish != nil {
+			b.finish(&res)
 		}
 		snap.Benchmarks = append(snap.Benchmarks, res)
 		extra := ""
@@ -257,6 +272,9 @@ type bench struct {
 	name     string
 	setup    func() (op func() (uint64, error), err error)
 	refSetup func() (op func() (uint64, error), err error)
+	// finish, when set, runs after measurement to attach workload-specific
+	// numbers the op closure accumulated (e.g. dirty pages per device).
+	finish func(r *Result)
 }
 
 // measurePaired measures b's op and ref interleaved: eight alternating time
@@ -388,7 +406,8 @@ var benches = []bench{
 	{name: "TraceOverhead/MPU", setup: setupTraceOverhead, refSetup: setupSimulator},
 	{name: "Standalone/Quicksort/MPU", setup: setupQuicksort},
 	{name: "FleetThroughput/32dev", setup: setupFleet},
-	{name: "DeviceBoot/32dev", setup: setupDeviceBoot},
+	{name: "FleetThroughput/100kdev", setup: setupFleet100k},
+	{name: "DeviceBoot/32dev", setup: setupDeviceBoot, finish: finishDeviceBoot},
 }
 
 // setupSimulator measures one kernel event dispatch (the BenchmarkSimulator
@@ -512,6 +531,41 @@ func setupFleet() (func() (uint64, error), error) {
 	}, nil
 }
 
+// setupFleet100k is the million-device scale probe: 100k devices over a short
+// wear window per op. Boot cost dominates event delivery here, so this is the
+// benchmark the COW work moves — under -nocow every device pays a 64 KiB
+// clone, under COW a handful of page faults.
+func setupFleet100k() (func() (uint64, error), error) {
+	pedometer, ok := apps.ByName("pedometer")
+	if !ok {
+		return nil, fmt.Errorf("no pedometer app")
+	}
+	hr, ok := apps.ByName("hr")
+	if !ok {
+		return nil, fmt.Errorf("no hr app")
+	}
+	sc := fleet.Scenario{
+		Name:       "bench-100k",
+		Apps:       []apps.App{pedometer, hr},
+		Mode:       cc.ModeMPU,
+		DurationMS: 100,
+		Devices:    100_000,
+		Seed:       1,
+	}
+	runner := &fleet.Runner{Cache: fleet.NewBuildCache()}
+	return func() (uint64, error) {
+		rep, err := runner.Run(context.Background(), sc)
+		if err != nil {
+			return 0, err
+		}
+		return rep.TotalInsns, nil
+	}, nil
+}
+
+// bootDirtyPages/bootDevices accumulate the DeviceBoot workload's per-device
+// dirty-page counts across ops; finishDeviceBoot folds them into the Result.
+var bootDirtyPages, bootDevices uint64
+
 // setupDeviceBoot measures pure boot cost: 32 kernels cloned from the shared
 // boot template per op, no events delivered. It retires no simulated
 // instructions (instr/s stays 0), so the drift gate tracks it by ns/op and
@@ -532,16 +586,26 @@ func setupDeviceBoot() (func() (uint64, error), error) {
 		return nil, err
 	}
 	sink := 0
+	bootDirtyPages, bootDevices = 0, 0
 	return func() (uint64, error) {
 		for d := 0; d < 32; d++ {
 			k := tmpl.NewKernel(fleet.DeviceSeed(1, d))
 			sink += len(k.Apps)
+			bootDirtyPages += uint64(k.Bus.DirtyPages())
+			bootDevices++
 		}
 		if sink == 0 {
 			return 0, fmt.Errorf("boot produced no apps")
 		}
 		return 0, nil
 	}, nil
+}
+
+// finishDeviceBoot attaches the measured per-device dirty-page footprint.
+func finishDeviceBoot(r *Result) {
+	if bootDevices > 0 {
+		r.DirtyPagesPerDev = float64(bootDirtyPages) / float64(bootDevices)
+	}
 }
 
 func fail(err error) {

@@ -48,7 +48,7 @@ func main() {
 	faultApp := flag.Int("fault-app", 0, "app index targeted by -fault-every")
 	maxFaults := flag.Int("max-faults", 3, "restart policy: faults before an app stays dead")
 	backoff := flag.Uint64("backoff", 1000, "restart policy: backoff before restart, ms")
-	repeat := flag.Int("repeat", 1, "run each scenario this many times (later runs boot from the warm build cache; for soak and live-metrics runs)")
+	repeat := flag.Int("repeat", 1, "run each scenario this many times, must be >= 1 (soak mode: every run is a byte-identical re-run from the warm build cache and only the last report is kept — useful for live-metrics scrapes and leak hunts)")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON on stdout")
 	name := flag.String("name", "fleet", "scenario name recorded in the report")
 	noCache := flag.Bool("nodecodecache", false, "disable the predecoded instruction cache (slow, for differential checks)")
@@ -57,6 +57,7 @@ func main() {
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
 	noBatch := flag.Bool("nobatch", false, "disable wear-window event batching (reports must be byte-identical either way)")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
+	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat 64KiB clones, the memory oracle; reports must be byte-identical either way)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	faultTrace := flag.Bool("fault-trace", false, "attach per-device flight recorders and dump the last events of faulting devices into the report")
@@ -67,6 +68,12 @@ func main() {
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
 	fleet.SetBatching(!*noBatch)
+	mem.SetCOW(!*noCOW)
+	if *repeat < 1 {
+		// The old `i < repeat || i == 0` loop silently ran once for 0 or
+		// negative repeats; that masks typos in soak scripts. Reject instead.
+		fail(fmt.Errorf("-repeat must be >= 1 (got %d)", *repeat))
+	}
 	if *noObs {
 		obs.SetMetrics(false)
 		obs.SetTracing(false)
@@ -118,7 +125,7 @@ func main() {
 		var rep *fleet.Report
 		// Repeats are byte-identical re-runs (same seed, warm build cache);
 		// only the last report is kept.
-		for i := 0; i < *repeat || i == 0; i++ {
+		for i := 0; i < *repeat; i++ {
 			var err error
 			rep, err = runner.Run(ctx, sc)
 			if err != nil {
@@ -132,8 +139,9 @@ func main() {
 	}
 	builds, hits := runner.Cache.Stats()
 	tmplBuilds, tmplHits := runner.Cache.TemplateStats()
-	cacheLine := fmt.Sprintf("firmware builds: %d (%d cache hits); boot templates: %d built (%d cache hits)",
-		builds, hits, tmplBuilds, tmplHits)
+	pageGets, pagePuts := runner.ArenaStats()
+	cacheLine := fmt.Sprintf("firmware builds: %d (%d cache hits); boot templates: %d built (%d cache hits); cow pages: %d reused, %d recycled",
+		builds, hits, tmplBuilds, tmplHits, pageGets, pagePuts)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -35,6 +35,7 @@ func main() {
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
+	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat-clone oracle, for differential checks)")
 	tracePath := flag.String("trace", "", "export the run as Chrome trace-event JSON to this file (kernel form)")
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	mem.SetCOW(!*noCOW)
 	if *noObs {
 		obs.SetMetrics(false)
 		obs.SetTracing(false)

@@ -59,6 +59,8 @@ func main() {
 		"disable threaded dispatch (switch-executor engine); campaigns must report identical bytes either way")
 	noObs := flag.Bool("noobs", false,
 		"disable observability (metrics and tracing); campaigns must report identical bytes either way")
+	noCOW := flag.Bool("nocow", false,
+		"disable copy-on-write device memory (flat-clone oracle); campaigns must report identical bytes either way")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	flag.Parse()
@@ -67,6 +69,7 @@ func main() {
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	mem.SetCOW(!*noCOW)
 	if *noObs {
 		obs.SetMetrics(false)
 		obs.SetTracing(false)

@@ -2,6 +2,7 @@ package cc
 
 import (
 	"fmt"
+	"sync"
 
 	"amuletiso/internal/abi"
 	"amuletiso/internal/asm"
@@ -52,6 +53,14 @@ type Program struct {
 	// MOV#imm+ALU, PUSH runs) unless isa.SetFusion disabled it at compile
 	// time — the -nofuse escape hatch.
 	Text *isa.Program
+
+	// bootTmpl is the post-load memory snapshot prepared for COW sharing,
+	// built lazily on the first Load. Subsequent machines boot as COW views
+	// over it (or full clones with -nocow), so torture campaigns that load
+	// thousands of machines from a shrunk corpus pay the erased-FRAM fill
+	// and segment copy once.
+	bootOnce sync.Once
+	bootTmpl *mem.Template
 }
 
 // stackSize derives the stack reservation.
@@ -189,16 +198,29 @@ type Machine struct {
 }
 
 // Load instantiates a machine for the program. When the program was built
-// with EnableMPU, a real MPU model is attached to the bus.
+// with EnableMPU, a real MPU model is attached to the bus. The first Load
+// snapshots the post-load memory image; later machines boot from it as COW
+// views (full clones under the -nocow oracle) instead of replaying the load.
 func (p *Program) Load() *Machine {
-	bus := mem.NewBus()
+	p.bootOnce.Do(func() {
+		scratch := mem.NewBus()
+		p.Image.LoadInto(scratch)
+		img := new(mem.BusImage)
+		scratch.SnapshotData(img)
+		p.bootTmpl = mem.NewTemplate(img)
+	})
+	var bus *mem.Bus
+	if mem.COWEnabled() {
+		bus = mem.NewBusCOW(p.bootTmpl, nil)
+	} else {
+		bus = mem.NewBusFrom(p.bootTmpl.Image())
+	}
 	c := cpu.New(bus)
 	m := &Machine{CPU: c, Bus: bus, Img: p.Image}
 	u := mpu.New()
 	bus.Map(mpu.RegLo, mpu.RegHi, u)
 	bus.SetChecker(u)
 	m.MPU = u
-	p.Image.LoadInto(bus)
 	c.SetPC(p.Image.Entry)
 	c.UseProgram(p.Text)
 	return m

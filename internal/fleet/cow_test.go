@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"amuletiso/internal/isa"
+	"amuletiso/internal/mem"
+)
+
+// engineCell is one cell of the {threading, fusion, certificates} matrix the
+// COW identity test sweeps (mirroring the torture battery's engineMatrix).
+type engineCell struct {
+	name                string
+	thread, fuse, certs bool
+}
+
+var engineCells = []engineCell{
+	{"threaded+fused+certified", true, true, true},
+	{"threaded+fused+perword", true, true, false},
+	{"threaded+unfused+certified", true, false, true},
+	{"threaded+unfused+perword", true, false, false},
+	{"switch+fused+certified", false, true, true},
+	{"switch+fused+perword", false, true, false},
+	{"switch+unfused+certified", false, false, true},
+	{"switch+unfused+perword", false, false, false},
+}
+
+// TestFleetReportByteIdenticalCOWAcrossEngines is the fleet-level COW
+// guarantee: the serialized report for a scenario with faults, restarts and
+// button noise must be byte-identical with COW device memory and with the
+// flat-clone oracle, in every cell of the engine matrix.
+func TestFleetReportByteIdenticalCOWAcrossEngines(t *testing.T) {
+	defer func() {
+		isa.SetThreading(true)
+		isa.SetFusion(true)
+		mem.SetExecCerts(true)
+		mem.SetCOW(true)
+	}()
+	sc := testScenario(6)
+	var golden []byte
+	for _, cell := range engineCells {
+		isa.SetThreading(cell.thread)
+		isa.SetFusion(cell.fuse)
+		mem.SetExecCerts(cell.certs)
+		for _, cow := range []bool{true, false} {
+			mem.SetCOW(cow)
+			rep, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatalf("%s cow=%v: %v", cell.name, cow, err)
+			}
+			b := marshal(t, rep)
+			if golden == nil {
+				golden = b
+				continue
+			}
+			if !bytes.Equal(golden, b) {
+				t.Fatalf("%s cow=%v: report differs from %s cow=true",
+					cell.name, cow, engineCells[0].name)
+			}
+		}
+	}
+}
+
+// TestRunnerArenaRecyclesPages drives one runner through consecutive runs and
+// asserts the page arena actually cycles: the second run boots devices from
+// the first run's recycled pages.
+func TestRunnerArenaRecyclesPages(t *testing.T) {
+	mem.SetCOW(true)
+	defer mem.SetCOW(true)
+	sc := testScenario(4)
+	r := &Runner{Workers: 2}
+	if _, err := r.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	_, puts1 := r.ArenaStats()
+	if puts1 == 0 {
+		t.Fatal("first run recycled no pages; devices should dirty and release pages")
+	}
+	if _, err := r.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	gets2, puts2 := r.ArenaStats()
+	if gets2 == 0 {
+		t.Fatal("second run reused no recycled pages")
+	}
+	if puts2 <= puts1 {
+		t.Fatalf("second run returned no pages (puts %d -> %d)", puts1, puts2)
+	}
+}

@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"runtime"
 
+	"sync"
+
 	"amuletiso/internal/apps"
 	"amuletiso/internal/cc"
 	"amuletiso/internal/kernel"
+	"amuletiso/internal/mem"
 	"amuletiso/internal/obs"
 )
 
@@ -119,6 +122,26 @@ type Runner struct {
 	// a cache across runs to reuse builds between scenarios (e.g. the same
 	// app set under several modes still builds once per mode).
 	Cache *BuildCache
+
+	// arena recycles COW data pages between devices: finished devices hand
+	// their dirty pages back, the next boot's write-faults reuse them. One
+	// arena per runner, shared by all workers and across Run calls, so a
+	// long soak settles into zero page allocations per device.
+	arenaOnce sync.Once
+	arena     *mem.PageArena
+}
+
+// pageArena lazily builds the runner's shared page arena.
+func (r *Runner) pageArena() *mem.PageArena {
+	r.arenaOnce.Do(func() { r.arena = mem.NewPageArena() })
+	return r.arena
+}
+
+// ArenaStats reports cumulative page recycling traffic (pages handed out,
+// pages returned) for the runner's arena. Diagnostics only — never part of
+// a Report.
+func (r *Runner) ArenaStats() (gets, puts uint64) {
+	return r.pageArena().Stats()
 }
 
 // workerCount resolves the effective pool size.
@@ -149,8 +172,9 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 
 	workers := r.workerCount()
 	results := make([]DeviceResult, sc.Devices)
+	arena := r.pageArena()
 	err = ForEachBatch(ctx, sc.Devices, workers, chunkFor(sc.Devices, workers), func(i int) error {
-		res, err := simulate(ctx, &sc, tmpl, sc.FirstDevice+i)
+		res, err := simulate(ctx, &sc, tmpl, arena, sc.FirstDevice+i)
 		if err != nil {
 			return err
 		}
@@ -204,10 +228,10 @@ func DeviceSeed(fleetSeed uint64, device int) uint32 {
 // is delivered in bounded event batches (cancellation is checked between
 // batches rather than only between segments); either way the delivered
 // event sequence — and therefore the DeviceResult — is identical.
-func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, device int) (DeviceResult, error) {
+func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, arena *mem.PageArena, device int) (DeviceResult, error) {
 	seed := DeviceSeed(sc.Seed, device)
 	mDevicesStarted.Inc()
-	k := tmpl.NewKernel(seed)
+	k := tmpl.NewKernelArena(seed, arena)
 	if sc.FaultTrace {
 		// Always a fresh recorder — even when global tracing already attached
 		// one at boot (which saw the boot-time posts this one won't) — so the
@@ -293,6 +317,9 @@ func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, devi
 	if sc.FaultTrace && len(k.Faults) > 0 {
 		res.FaultTrace = k.Recorder().Dump(faultTraceWindow)
 	}
+	// The result is fully built; the device's memory is dead. Hand its dirty
+	// COW pages back for the next boot to reuse (no-op on a flat oracle bus).
+	k.Bus.ReleasePages()
 	mDevicesCompleted.Inc()
 	mInstrSimulated.Add(k.CPU.Insns)
 	mWearMS.Add(sc.DurationMS)

@@ -260,6 +260,9 @@ func NewSeeded(fw *aft.Firmware, seed uint32) *Kernel {
 type BootTemplate struct {
 	fw  *aft.Firmware
 	img mem.BusImage
+	// ct is img prepared for copy-on-write sharing (the canonical page
+	// table COW kernels start from); built once alongside the snapshot.
+	ct *mem.Template
 }
 
 // NewBootTemplate loads the firmware into a scratch bus and snapshots the
@@ -270,6 +273,7 @@ func NewBootTemplate(fw *aft.Firmware) *BootTemplate {
 	fw.Image.LoadInto(bus)
 	t := &BootTemplate{fw: fw}
 	bus.SnapshotData(&t.img)
+	t.ct = mem.NewTemplate(&t.img)
 	return t
 }
 
@@ -277,9 +281,25 @@ func NewBootTemplate(fw *aft.Firmware) *BootTemplate {
 func (t *BootTemplate) Firmware() *aft.Firmware { return t.fw }
 
 // NewKernel boots a kernel from the template — observably identical to
-// NewSeeded(fw, seed), at clone cost.
+// NewSeeded(fw, seed). With COW enabled (the default) the device starts as
+// a zero-page view over the template and pays one page copy per first write;
+// with COW disabled it clones the full 64 KiB, the flat-memory oracle.
 func (t *BootTemplate) NewKernel(seed uint32) *Kernel {
-	return bootKernel(t.fw, seed, mem.NewBusFrom(&t.img))
+	return t.NewKernelArena(seed, nil)
+}
+
+// NewKernelArena boots like NewKernel but recycles COW pages through arena
+// when one is supplied: write-faults pull retired pages from it before
+// touching the allocator. A nil arena just allocates. The arena only matters
+// under COW; the flat oracle ignores it.
+func (t *BootTemplate) NewKernelArena(seed uint32, arena *mem.PageArena) *Kernel {
+	var bus *mem.Bus
+	if mem.COWEnabled() {
+		bus = mem.NewBusCOW(t.ct, arena)
+	} else {
+		bus = mem.NewBusFrom(&t.img)
+	}
+	return bootKernel(t.fw, seed, bus)
 }
 
 // bootKernel assembles a kernel around a bus that already holds the loaded

@@ -1,0 +1,68 @@
+package mem
+
+import "sync"
+
+// poisonByte fills recycled pages before they re-enter circulation. Fault-in
+// copies the template page over the whole buffer, so a poisoned byte leaking
+// through to a fresh device means the sanitization contract broke — the
+// recycling tests assert no device ever observes 0xA5 it didn't write.
+const poisonByte = 0xA5
+
+// PageArena recycles private COW pages between devices. A fleet runner owns
+// one arena shared by all its workers: finished devices push their dirty
+// pages back, and the next boot's write-faults pull from the free list
+// instead of the Go allocator. Steady-state page traffic then costs zero
+// allocations regardless of fleet size.
+type PageArena struct {
+	mu   sync.Mutex
+	free []*dataPage
+	gets uint64
+	puts uint64
+}
+
+// NewPageArena returns an empty arena.
+func NewPageArena() *PageArena { return &PageArena{} }
+
+// get pops a recycled page, or returns nil when the free list is empty (the
+// caller falls back to the allocator).
+func (a *PageArena) get() *dataPage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.free)
+	if n == 0 {
+		return nil
+	}
+	pg := a.free[n-1]
+	a.free[n-1] = nil
+	a.free = a.free[:n-1]
+	a.gets++
+	return pg
+}
+
+// put poisons a retired page and returns it to the free list.
+func (a *PageArena) put(pg *dataPage) {
+	for i := range pg {
+		pg[i] = poisonByte
+	}
+	a.mu.Lock()
+	a.free = append(a.free, pg)
+	a.puts++
+	a.mu.Unlock()
+	mPagesRecycled.Inc()
+}
+
+// FreePages reports how many recycled pages are currently parked in the
+// arena.
+func (a *PageArena) FreePages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
+
+// Stats returns the cumulative numbers of pages handed out and pages
+// returned since creation.
+func (a *PageArena) Stats() (gets, puts uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets, a.puts
+}

@@ -12,6 +12,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -28,6 +29,19 @@ func SetExecCerts(on bool) { execCertsOff.Store(!on) }
 
 // ExecCertsEnabled reports whether FetchWords may use execute certificates.
 func ExecCertsEnabled() bool { return !execCertsOff.Load() }
+
+// cowOff globally disables copy-on-write device memory when set: template
+// boots (kernel.BootTemplate, cc.Program.Load) fall back to flat 64 KiB
+// clones — the memory-oracle path behind the `-nocow` escape hatch. Like the
+// other hatches it is a boot-time property: buses already constructed keep
+// their backing.
+var cowOff atomic.Bool
+
+// SetCOW enables or disables copy-on-write template boots process-wide.
+func SetCOW(on bool) { cowOff.Store(!on) }
+
+// COWEnabled reports whether template boots use copy-on-write views.
+func COWEnabled() bool { return !cowOff.Load() }
 
 // MSP430FR5969-style memory map. All bounds are inclusive.
 const (
@@ -110,12 +124,24 @@ type devEntry struct {
 	dev    Device
 }
 
-// pageShift/numPages size the device dispatch page table: 256 pages of 256
-// bytes each cover the 64 KiB space.
+// pageShift/PageSize/numPages size both the device dispatch table and the
+// data backing: 256 pages of 256 bytes each cover the 64 KiB space. The page
+// is also the copy-on-write unit — the first write to a template-shared page
+// faults in a private 256-byte copy.
 const (
 	pageShift = 8
-	numPages  = 1 << (16 - pageShift)
+	// PageSize is the byte granularity of the bus's page table and therefore
+	// of copy-on-write sharing: a device's idle data footprint is
+	// DirtyPages() * PageSize bytes.
+	PageSize = 1 << pageShift
+	numPages = 1 << (16 - pageShift)
+	pageMask = PageSize - 1
 )
+
+// dataPage is one 256-byte unit of bus memory. Aligned word accesses never
+// cross a page (an even address' low byte is at offset <= 0xFE), so the word
+// paths touch exactly one page.
+type dataPage [PageSize]byte
 
 // CodeRange is one executable text span [Lo, Hi) backing a predecode cache;
 // writes landing inside it must invalidate the cached instructions (see
@@ -159,21 +185,53 @@ type execGenRef interface {
 
 // Bus is the CPU-visible memory system.
 //
-// The zero value is not usable; call NewBus.
+// Bus memory is page-granular: mem[addr>>8] points at the 256-byte page
+// backing addr. A flat bus (NewBus, NewBusFrom) owns a private 64 KiB slab
+// and points every page into it; a copy-on-write bus (NewBusCOW) starts with
+// every page aliasing a shared immutable template and allocates nothing —
+// the first write to a shared page faults in a private copy (see faultIn),
+// so an idle device costs O(dirty pages) instead of 64 KiB. Reads never
+// fault; writes through every path (checked, poke, loader) do.
+//
+// The zero value is not usable; call NewBus, NewBusFrom or NewBusCOW.
 type Bus struct {
-	data [1 << 16]byte
+	// mem is the page-granular data view. Entries with a clear priv bit
+	// alias the shared template (COW buses) and must never be written
+	// through; entries with a set bit are private to this bus. A COW bus
+	// starts by aliasing the template's canonical table wholesale (ownTable
+	// false) and clones it on the first fault, so a boot-only device shares
+	// even the 2 KiB of page pointers.
+	mem *[numPages]*dataPage
+	// ownTable records whether mem is private to this bus and mutable.
+	ownTable bool
+	// priv is the private-page bitmap: bit p set means mem[p] is owned by
+	// this bus and writable in place. Flat buses have every bit set.
+	priv [numPages / 64]uint64
+	// tmpl is the template a COW bus was created over (nil for flat buses);
+	// ReleasePages points recycled pages back at it.
+	tmpl *Template
+	// arena, when non-nil, supplies and recycles the private pages a COW
+	// bus faults in (fleet runners share one across their devices).
+	arena *PageArena
+	// dirtied counts the private pages faulted in since creation (or the
+	// last ReleasePages) — the COW bus's data footprint in pages.
+	dirtied int
+
 	devs []devEntry
-	// pages is the precomputed device dispatch table: pages[addr>>8] lists
-	// the devices overlapping that 256-byte page in registration order, so
-	// the common case (plain memory, no device) is a nil check instead of a
-	// linear scan over every mapped device.
-	pages [numPages][]devEntry
+	// devPages/devLists form the precomputed device dispatch table:
+	// devPages[addr>>8] is 1+index into devLists for pages overlapped by
+	// any device (0 otherwise), so the common case (plain memory, no
+	// device) is one table load. Per-page lists preserve registration
+	// order. The indirection keeps the in-struct cost at two bytes per
+	// page: the Bus struct itself is part of the per-device footprint.
+	devPages [numPages]uint16
+	devLists [][]devEntry
 
 	// Code-write watch: the predecode cache's invalidation hook. codePages
-	// marks pages overlapping any watched text range so the per-write cost
-	// off the watched ranges is a single table load.
+	// is a bitmap marking pages overlapping any watched text range so the
+	// per-write cost off the watched ranges is a couple of bit tests.
 	codeRanges  []CodeRange
-	codePages   [numPages]bool
+	codePages   [numPages / 64]uint64
 	onCodeWrite func(lo, hi uint16)
 
 	// Execute-certificate state (see FetchWords). certLo/certHi is the span
@@ -206,16 +264,41 @@ type Bus struct {
 	reads, writes, fetches uint64
 }
 
+// initFlat points every page of the bus into the private slab and marks them
+// owned: the flat backing NewBus and NewBusFrom produce, and the oracle the
+// COW backing is tested against.
+func (b *Bus) initFlat(slab *BusImage) {
+	b.mem = new([numPages]*dataPage)
+	b.ownTable = true
+	for p := 0; p < numPages; p++ {
+		b.mem[p] = (*dataPage)(slab[p<<pageShift : (p+1)<<pageShift])
+	}
+	for i := range b.priv {
+		b.priv[i] = ^uint64(0)
+	}
+}
+
+// initDispatch presizes the device-registration slices: every kernel maps a
+// handful of peripherals at boot, and boot-path allocations are multiplied by
+// fleet size.
+func (b *Bus) initDispatch() {
+	b.devs = make([]devEntry, 0, 8)
+	b.devLists = make([][]devEntry, 0, 8)
+}
+
 // NewBus returns a bus with the FR5969 region map and no devices.
 func NewBus() *Bus {
 	b := &Bus{}
 	// Unmapped memory reads as 0xFF (erased FRAM convention). Doubling
 	// copies fill the 64 KiB in 16 memmoves instead of 64 Ki byte stores —
 	// bus construction is on the per-device boot path at fleet scale.
-	b.data[0] = 0xFF
-	for i := 1; i < len(b.data); i *= 2 {
-		copy(b.data[i:], b.data[:i])
+	slab := new(BusImage)
+	slab[0] = 0xFF
+	for i := 1; i < len(slab); i *= 2 {
+		copy(slab[i:], slab[:i])
 	}
+	b.initFlat(slab)
+	b.initDispatch()
 	return b
 }
 
@@ -230,15 +313,129 @@ type BusImage [1 << 16]byte
 // captured (devices never back their state with bus memory), so a snapshot
 // taken after a loader pass is exactly the byte state a fresh NewBus +
 // LoadInto sequence produces.
-func (b *Bus) SnapshotData(dst *BusImage) { copy(dst[:], b.data[:]) }
+func (b *Bus) SnapshotData(dst *BusImage) {
+	for p := 0; p < numPages; p++ {
+		copy(dst[p<<pageShift:(p+1)<<pageShift], b.mem[p][:])
+	}
+}
 
-// NewBusFrom returns a bus whose memory is a copy of img, with no devices,
-// checker or watches — byte-for-byte the machine NewBus plus the template's
-// loader history would have produced, at memmove cost.
+// NewBusFrom returns a bus whose memory is a private copy of img, with no
+// devices, checker or watches — byte-for-byte the machine NewBus plus the
+// template's loader history would have produced, at memmove cost. It is the
+// flat-memory oracle the `-nocow` escape hatch falls back to.
 func NewBusFrom(img *BusImage) *Bus {
 	b := &Bus{}
-	copy(b.data[:], img[:])
+	slab := new(BusImage)
+	*slab = *img
+	b.initFlat(slab)
+	b.initDispatch()
 	return b
+}
+
+// Template is an immutable 64 KiB memory image prepared for copy-on-write
+// sharing: the snapshot bytes plus the canonical page-pointer table every COW
+// bus starts from. Build one with NewTemplate and keep it for as long as any
+// bus boots from it; it is safe to share across goroutines.
+type Template struct {
+	img   *BusImage
+	table [numPages]*dataPage
+}
+
+// NewTemplate prepares img for COW sharing. img must stay immutable while
+// any bus created over the template is alive.
+func NewTemplate(img *BusImage) *Template {
+	t := &Template{img: img}
+	for p := 0; p < numPages; p++ {
+		t.table[p] = (*dataPage)(img[p<<pageShift : (p+1)<<pageShift])
+	}
+	return t
+}
+
+// Image returns the template's underlying snapshot (for flat-oracle boots).
+func (t *Template) Image() *BusImage { return t.img }
+
+// NewBusCOW returns a bus whose memory is a page-granular copy-on-write view
+// over the template: it allocates no data pages at all — it even shares the
+// template's page-pointer table until the first fault — every read is served
+// from the shared bytes, and the first write to a page faults in a private
+// 256-byte copy (drawn from arena when non-nil, else freshly allocated).
+// Observably identical to NewBusFrom(t.Image()) — same bytes, same checks,
+// same stats — at O(dirty pages) memory cost instead of 64 KiB.
+func NewBusCOW(t *Template, arena *PageArena) *Bus {
+	b := &Bus{tmpl: t, arena: arena, mem: &t.table}
+	b.initDispatch()
+	return b
+}
+
+// writablePage returns a page the bus may write in place, faulting in a
+// private copy on the first write to a template-shared page. Every write
+// path — checked, poke, loader — funnels through here.
+func (b *Bus) writablePage(addr uint16) *dataPage {
+	p := addr >> pageShift
+	if b.priv[p>>6]&(1<<(p&63)) == 0 {
+		return b.faultIn(p)
+	}
+	return b.mem[p]
+}
+
+// faultIn replaces shared page p with a private copy of its current (template)
+// contents. The copy fully overwrites the incoming page, so arena-recycled
+// pages can never leak a prior device's bytes. The very first fault also
+// privatizes the page-pointer table the bus was sharing with its template.
+func (b *Bus) faultIn(p uint16) *dataPage {
+	if !b.ownTable {
+		nt := new([numPages]*dataPage)
+		*nt = *b.mem
+		b.mem = nt
+		b.ownTable = true
+	}
+	var pg *dataPage
+	if b.arena != nil {
+		pg = b.arena.get()
+	}
+	if pg == nil {
+		pg = new(dataPage)
+	}
+	*pg = *b.mem[p]
+	b.mem[p] = pg
+	b.priv[p>>6] |= 1 << (p & 63)
+	b.dirtied++
+	mPagesDirtied.Inc()
+	return pg
+}
+
+// DirtyPages returns how many private data pages back this bus: the pages a
+// COW bus has faulted in, or all of them for a flat bus. A device's idle
+// data footprint is DirtyPages() * PageSize bytes.
+func (b *Bus) DirtyPages() int {
+	if b.tmpl == nil {
+		return numPages
+	}
+	return b.dirtied
+}
+
+// ReleasePages detaches a COW bus from its private pages, handing them to
+// the arena (when one is attached) for later devices to reuse, and reverts
+// the bus to a clean view of its template. Finished fleet devices call it so
+// a million-device run cycles a bounded page working set. The caller must
+// treat the bus as retired afterwards. Flat buses ignore the call.
+func (b *Bus) ReleasePages() {
+	if b.tmpl == nil {
+		return
+	}
+	for w, bw := range b.priv {
+		for bw != 0 {
+			p := uint16(w*64 + bits.TrailingZeros64(bw))
+			bw &= bw - 1
+			pg := b.mem[p]
+			b.mem[p] = b.tmpl.table[p]
+			if b.arena != nil {
+				b.arena.put(pg)
+			}
+		}
+		b.priv[w] = 0
+	}
+	b.dirtied = 0
 }
 
 // Map registers a peripheral device over [lo, hi]. Later registrations take
@@ -248,7 +445,13 @@ func (b *Bus) Map(lo, hi uint16, d Device) {
 	e := devEntry{lo, hi, d}
 	b.devs = append(b.devs, e)
 	for p := int(lo >> pageShift); p <= int(hi>>pageShift); p++ {
-		b.pages[p] = append(b.pages[p], e)
+		idx := b.devPages[p]
+		if idx == 0 {
+			b.devLists = append(b.devLists, nil)
+			idx = uint16(len(b.devLists))
+			b.devPages[p] = idx
+		}
+		b.devLists[idx-1] = append(b.devLists[idx-1], e)
 	}
 }
 
@@ -256,7 +459,11 @@ func (b *Bus) Map(lo, hi uint16, d Device) {
 // the page table; per-page lists preserve global registration order, so the
 // reverse scan keeps the later-registration-wins contract of deviceAtLinear.
 func (b *Bus) deviceAt(addr uint16) Device {
-	entries := b.pages[addr>>pageShift]
+	idx := b.devPages[addr>>pageShift]
+	if idx == 0 {
+		return nil
+	}
+	entries := b.devLists[idx-1]
 	for i := len(entries) - 1; i >= 0; i-- {
 		if addr >= entries[i].lo && addr <= entries[i].hi {
 			return entries[i].dev
@@ -282,7 +489,7 @@ func (b *Bus) deviceAtLinear(addr uint16) Device {
 // [lo, hi] (inclusive), clamped per range. Passing a nil fn clears the watch.
 // At most one watch is active; the CPU owns it (see cpu.UseProgram).
 func (b *Bus) WatchCode(ranges []CodeRange, fn func(lo, hi uint16)) {
-	b.codePages = [numPages]bool{}
+	b.codePages = [numPages / 64]uint64{}
 	// A new watch means a new (or detached) predecode cache: restart
 	// certification from scratch so the next certified fetch re-validates.
 	b.DropExecCert()
@@ -298,7 +505,7 @@ func (b *Bus) WatchCode(ranges []CodeRange, fn func(lo, hi uint16)) {
 			continue
 		}
 		for p := int(r.Lo >> pageShift); p <= int((r.Hi-1)>>pageShift); p++ {
-			b.codePages[p] = true
+			b.codePages[p>>6] |= 1 << (p & 63)
 		}
 	}
 }
@@ -315,7 +522,7 @@ func (b *Bus) touchCode(lo, hi uint16) {
 	}
 	watched := false
 	for p := int(lo >> pageShift); p <= int(hi>>pageShift); p++ {
-		if b.codePages[p] {
+		if b.codePages[p>>6]&(1<<(p&63)) != 0 {
 			watched = true
 			break
 		}
@@ -350,13 +557,16 @@ func InRegion(addr, lo, hi uint16) bool { return addr >= lo && addr <= hi }
 // align drops bit 0, mirroring the MSP430's silent word alignment.
 func align(addr uint16) uint16 { return addr &^ 1 }
 
-// rawRead16 reads a word without checks or hooks.
+// rawRead16 reads a word without checks or hooks. Reads never fault a COW
+// page in — shared template pages serve them directly.
 func (b *Bus) rawRead16(addr uint16) uint16 {
 	addr = align(addr)
 	if d := b.deviceAt(addr); d != nil {
 		return d.ReadWord(addr)
 	}
-	return uint16(b.data[addr]) | uint16(b.data[addr+1])<<8
+	pg := b.mem[addr>>pageShift]
+	off := addr & pageMask
+	return uint16(pg[off]) | uint16(pg[off+1])<<8
 }
 
 // rawWrite16 writes a word without checks or hooks (but it does feed the
@@ -368,8 +578,10 @@ func (b *Bus) rawWrite16(addr, v uint16) {
 		d.WriteWord(addr, v)
 		return
 	}
-	b.data[addr] = byte(v)
-	b.data[addr+1] = byte(v >> 8)
+	pg := b.writablePage(addr)
+	off := addr & pageMask
+	pg[off] = byte(v)
+	pg[off+1] = byte(v >> 8)
 }
 
 // SetChecker installs (or clears, with nil) the access checker. The
@@ -439,7 +651,7 @@ func (b *Bus) Read8(addr uint16) (uint8, *Violation) {
 			v = uint8(w)
 		}
 	} else {
-		v = b.data[addr]
+		v = b.mem[addr>>pageShift][addr&pageMask]
 	}
 	a.Value = uint16(v)
 	b.observe(a)
@@ -479,7 +691,7 @@ func (b *Bus) Write8(addr uint16, val uint8) *Violation {
 		}
 		d.WriteWord(align(addr), w)
 	} else {
-		b.data[addr] = val
+		b.writablePage(addr)[addr&pageMask] = val
 	}
 	b.observe(a)
 	return nil
@@ -605,7 +817,7 @@ func (b *Bus) Peek8(addr uint16) uint8 {
 		}
 		return uint8(w)
 	}
-	return b.data[addr]
+	return b.mem[addr>>pageShift][addr&pageMask]
 }
 
 // Poke16 writes a word without checks or profiling (loader use).
@@ -624,7 +836,7 @@ func (b *Bus) Poke8(addr uint16, v uint8) {
 		d.WriteWord(align(addr), w)
 		return
 	}
-	b.data[addr] = v
+	b.writablePage(addr)[addr&pageMask] = v
 }
 
 // LoadBytes copies raw bytes into memory at addr without checks (loader use).
@@ -641,8 +853,13 @@ func (b *Bus) LoadBytes(addr uint16, p []byte) {
 	} else {
 		b.touchCode(addr, last)
 	}
-	for i, v := range p {
-		b.data[addr+uint16(i)] = v
+	a := addr
+	remaining := p
+	for len(remaining) > 0 {
+		pg := b.writablePage(a)
+		n := copy(pg[a&pageMask:], remaining)
+		remaining = remaining[n:]
+		a += uint16(n) // wraps past 0xFFFF like the old byte loop did
 	}
 }
 

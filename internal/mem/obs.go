@@ -11,4 +11,8 @@ var (
 		"Non-empty execute certificates voided by writes into watched code.")
 	mWatchInval = obs.Default.Counter(obs.MetricWatchInval,
 		"Code-watch invalidations delivered to predecode caches.")
+	mPagesDirtied = obs.Default.Counter(obs.MetricPagesDirtied,
+		"COW pages faulted private by a first write to a shared template page.")
+	mPagesRecycled = obs.Default.Counter(obs.MetricPagesRecycled,
+		"Dirty COW pages returned to a recycling arena by finished devices.")
 )

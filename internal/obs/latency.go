@@ -1,5 +1,7 @@
 package obs
 
+import "math"
+
 // CycleHist is a fixed-bucket histogram over the simulated cycle domain. It
 // is the one observability structure allowed inside fleet reports: cycle
 // counts are a pure function of the simulation, so per-device hists and their
@@ -25,17 +27,31 @@ var CycleBounds = [...]uint64{
 	256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
 }
 
-// Observe records one latency sample.
+// Observe records one latency sample. It runs once per delivered event on
+// the dispatch hot path, so the bucket lookup is a binary search rather than
+// a linear scan over the bounds.
 func (h *CycleHist) Observe(v uint64) {
-	i := 0
-	for i < len(CycleBounds) && v > CycleBounds[i] {
-		i++
-	}
-	h.Counts[i]++
+	h.Counts[bucketFor(v)]++
 	h.Sum += v
 	if v > h.Max {
 		h.Max = v
 	}
+}
+
+// bucketFor returns the index of the bucket holding v: the first bound with
+// v <= bound, or the +Inf bucket past the last bound. Lower-bound binary
+// search, equivalent to the linear scan the tests keep as an oracle.
+func bucketFor(v uint64) int {
+	lo, hi := 0, len(CycleBounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v > CycleBounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Merge folds other into h. Merging is commutative and associative, so the
@@ -68,7 +84,9 @@ func (h *CycleHist) Quantile(q float64) uint64 {
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
+	// Nearest-rank wants the ceiling: p50 over 3 samples is rank 2, not the
+	// rank 1 a truncating conversion used to give.
+	rank := uint64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
 	}

@@ -1,0 +1,90 @@
+package obs
+
+import "testing"
+
+// TestQuantileNearestRankCeiling is the regression test for the rank-floor
+// bug: uint64(q*total) truncated, so p50 over an odd sample count resolved
+// one rank too low. Small exact histograms make the off-by-one observable.
+func TestQuantileNearestRankCeiling(t *testing.T) {
+	// Three samples in three distinct buckets: 10 (le=64), 200 (le=256),
+	// 5000 (le=16384). Nearest-rank p50 of 3 samples is rank ceil(1.5) = 2.
+	var h CycleHist
+	h.Observe(10)
+	h.Observe(200)
+	h.Observe(5000)
+	if q := h.Quantile(0.50); q != 256 {
+		t.Fatalf("p50 over 3 samples = %d, want rank-2 bucket bound 256", q)
+	}
+	// rank ceil(0.9*3) = 3: the highest bucket.
+	if q := h.Quantile(0.90); q != 16<<10 {
+		t.Fatalf("p90 over 3 samples = %d, want rank-3 bucket bound 16384", q)
+	}
+	// Two samples: p50 is rank ceil(1.0) = 1 — the lower of the two.
+	var h2 CycleHist
+	h2.Observe(10)
+	h2.Observe(5000)
+	if q := h2.Quantile(0.50); q != 64 {
+		t.Fatalf("p50 over 2 samples = %d, want rank-1 bucket bound 64", q)
+	}
+	// Exact-percentage boundary: p90 of 10 samples is rank 9 exactly (the
+	// float product 0.9*10 must not round past it).
+	var h3 CycleHist
+	for i := 0; i < 9; i++ {
+		h3.Observe(10)
+	}
+	h3.Observe(5000)
+	if q := h3.Quantile(0.90); q != 64 {
+		t.Fatalf("p90 over 10 samples = %d, want rank-9 bucket bound 64", q)
+	}
+	if q := h3.Quantile(0.91); q != 16<<10 {
+		t.Fatalf("p91 over 10 samples = %d, want rank-10 bucket bound 16384", q)
+	}
+}
+
+// TestBucketForEdges locks the binary-search bucket lookup at every boundary:
+// v == bound lands in that bucket, v == bound+1 in the next, v == 0 in the
+// first, v past the last bound in +Inf.
+func TestBucketForEdges(t *testing.T) {
+	if got := bucketFor(0); got != 0 {
+		t.Fatalf("bucketFor(0) = %d, want 0", got)
+	}
+	for i, bound := range CycleBounds {
+		if got := bucketFor(bound); got != i {
+			t.Fatalf("bucketFor(%d) = %d, want bucket %d (v == bound is inclusive)", bound, got, i)
+		}
+		if got := bucketFor(bound + 1); got != i+1 {
+			t.Fatalf("bucketFor(%d) = %d, want bucket %d", bound+1, got, i+1)
+		}
+	}
+	last := CycleBounds[len(CycleBounds)-1]
+	for _, v := range []uint64{last + 1, 1 << 40, ^uint64(0)} {
+		if got := bucketFor(v); got != len(CycleBounds) {
+			t.Fatalf("bucketFor(%d) = %d, want +Inf bucket %d", v, got, len(CycleBounds))
+		}
+	}
+}
+
+// TestBucketForMatchesLinearScan cross-checks the binary search against the
+// linear scan it replaced, over an exhaustive sweep of interesting values.
+func TestBucketForMatchesLinearScan(t *testing.T) {
+	linear := func(v uint64) int {
+		i := 0
+		for i < len(CycleBounds) && v > CycleBounds[i] {
+			i++
+		}
+		return i
+	}
+	var vals []uint64
+	for v := uint64(0); v < 2048; v++ {
+		vals = append(vals, v)
+	}
+	for _, b := range CycleBounds {
+		vals = append(vals, b-1, b, b+1)
+	}
+	vals = append(vals, 1<<32, ^uint64(0))
+	for _, v := range vals {
+		if got, want := bucketFor(v), linear(v); got != want {
+			t.Fatalf("bucketFor(%d) = %d, linear oracle says %d", v, got, want)
+		}
+	}
+}

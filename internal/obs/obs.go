@@ -80,7 +80,9 @@ const (
 	MetricInstrSimulated   = "amulet_fleet_instr_simulated_total"
 	MetricWearMS           = "amulet_fleet_wear_ms_total"
 
-	MetricCertDrops   = "amulet_mem_cert_drops_total"
-	MetricWatchInval  = "amulet_mem_watch_invalidations_total"
-	MetricTortureCase = "amulet_torture_cases_total"
+	MetricCertDrops     = "amulet_mem_cert_drops_total"
+	MetricWatchInval    = "amulet_mem_watch_invalidations_total"
+	MetricPagesDirtied  = "amulet_mem_cow_pages_dirtied_total"
+	MetricPagesRecycled = "amulet_mem_cow_pages_recycled_total"
+	MetricTortureCase   = "amulet_torture_cases_total"
 )

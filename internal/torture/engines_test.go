@@ -42,6 +42,7 @@ func resetEngines() {
 	isa.SetThreading(true)
 	isa.SetFusion(true)
 	mem.SetExecCerts(true)
+	mem.SetCOW(true)
 }
 
 // engineFP is everything one standalone run exposes: exit state, cycle and
@@ -207,11 +208,17 @@ func TestCampaignByteIdenticalAcrossEngines(t *testing.T) {
 				t.Errorf("%s: %s report differs from %s", kind, name, engineMatrix[0].name)
 			}
 		}
+		// Every engine cell runs twice — COW device memory and the flat-clone
+		// oracle — so the -nocow hatch stays byte-identical across the whole
+		// matrix, not just in the production cell.
 		for _, cfg := range engineMatrix {
 			isa.SetThreading(cfg.thread)
 			isa.SetFusion(cfg.fuse)
 			mem.SetExecCerts(cfg.certs)
 			check(cfg.name)
+			mem.SetCOW(false)
+			check(cfg.name + "+nocow")
+			mem.SetCOW(true)
 		}
 		resetEngines()
 		cpu.SetDecodeCache(false)

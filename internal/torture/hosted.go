@@ -80,7 +80,9 @@ func executeHosted(c *Case, out *Outcome) {
 		}
 		expected := c.Attack.predict(mode.String(), lay, arrAddr)
 
-		k := kernel.NewSeeded(fw, uint32(c.Seed)|1)
+		// Template boot (not NewSeeded) so adversarial campaigns run on the
+		// COW bus by default and the -nocow hatch leg exercises a real diff.
+		k := kernel.NewBootTemplate(fw).NewKernel(uint32(c.Seed) | 1)
 		k.WatchdogBudget = hostedWatchdog
 		k.Policy = kernel.RestartPolicy{} // first fault is final
 		k.Step()                          // deliver EvInit — the attack runs here
