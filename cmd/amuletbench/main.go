@@ -62,6 +62,7 @@ type Snapshot struct {
 	Fusion      bool     `json:"fusion"`
 	ExecCerts   bool     `json:"execCerts"`
 	Threading   bool     `json:"threading"`
+	JIT         bool     `json:"jit"`
 	Batching    bool     `json:"batching"`
 	Metrics     bool     `json:"metrics"`
 	Tracing     bool     `json:"tracing"`
@@ -78,6 +79,7 @@ func main() {
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (per-word fetch checks)")
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine)")
+	noJIT := flag.Bool("nojit", false, "disable the superblock JIT (interpreter-only engine)")
 	noBatch := flag.Bool("nobatch", false, "disable fleet wear-window batching")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics; tracing stays per-benchmark)")
 	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat 64KiB clones, the memory oracle)")
@@ -93,6 +95,7 @@ func main() {
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	isa.SetJIT(!*noJIT)
 	fleet.SetBatching(!*noBatch)
 	mem.SetCOW(!*noCOW)
 	if *noObs {
@@ -118,6 +121,9 @@ func main() {
 		if *noThread {
 			parts = append(parts, "nothread")
 		}
+		if *noJIT {
+			parts = append(parts, "nojit")
+		}
 		if *noBatch {
 			parts = append(parts, "nobatch")
 		}
@@ -137,6 +143,7 @@ func main() {
 		Fusion:      isa.FusionEnabled(),
 		ExecCerts:   mem.ExecCertsEnabled(),
 		Threading:   isa.ThreadingEnabled(),
+		JIT:         isa.JITEnabled(),
 		Batching:    fleet.BatchingEnabled(),
 		Metrics:     obs.MetricsEnabled(),
 		Tracing:     obs.TracingEnabled(),

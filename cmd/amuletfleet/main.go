@@ -55,6 +55,7 @@ func main() {
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
+	noJIT := flag.Bool("nojit", false, "disable the superblock JIT (interpreter-only engine, for differential checks)")
 	noBatch := flag.Bool("nobatch", false, "disable wear-window event batching (reports must be byte-identical either way)")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
 	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat 64KiB clones, the memory oracle; reports must be byte-identical either way)")
@@ -67,6 +68,7 @@ func main() {
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	isa.SetJIT(!*noJIT)
 	fleet.SetBatching(!*noBatch)
 	mem.SetCOW(!*noCOW)
 	if *repeat < 1 {
@@ -142,6 +144,7 @@ func main() {
 	pageGets, pagePuts := runner.ArenaStats()
 	cacheLine := fmt.Sprintf("firmware builds: %d (%d cache hits); boot templates: %d built (%d cache hits); cow pages: %d reused, %d recycled",
 		builds, hits, tmplBuilds, tmplHits, pageGets, pagePuts)
+	cacheLine += "\n" + jitLine()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -229,6 +232,27 @@ func printHuman(r *fleet.Report, elapsed time.Duration) {
 	rate := float64(r.Devices) / elapsed.Seconds()
 	fmt.Printf("  wall: %.2fs on %d CPUs (%.0f devices/sec)\n",
 		elapsed.Seconds(), runtime.GOMAXPROCS(0), rate)
+}
+
+// jitLine renders the process-wide superblock-JIT counters — the same series
+// /metrics exposes — for one-shot CLI output: what got compiled, what the
+// passes saved, and why compiled blocks fell back to the interpreter.
+func jitLine() string {
+	c := func(name string) uint64 {
+		if m := obs.Default.Lookup(name); m != nil {
+			return m.Value()
+		}
+		return 0
+	}
+	var deopts uint64
+	if v := obs.Default.LookupVec(obs.MetricJITDeopts); v != nil {
+		deopts = v.Total()
+	}
+	return fmt.Sprintf("jit: %d blocks (%d steps) compiled in %s; %d flag stores elided, %d ext words baked, %d addrs folded; %d deopts",
+		c(obs.MetricJITBlocksCompiled), c(obs.MetricJITStepsCompiled),
+		time.Duration(c(obs.MetricJITCompileNS)),
+		c(obs.MetricJITFlagsElided), c(obs.MetricJITExtElided),
+		c(obs.MetricJITAddrsFolded), deopts)
 }
 
 // startProgress prints a periodic devices-done / instr-per-second line on

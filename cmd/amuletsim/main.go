@@ -34,6 +34,7 @@ func main() {
 	noFuse := flag.Bool("nofuse", false, "disable superinstruction fusion (for differential checks)")
 	noCert := flag.Bool("nocert", false, "disable execute certificates (for differential checks)")
 	noThread := flag.Bool("nothread", false, "disable threaded dispatch (switch-executor engine, for differential checks)")
+	noJIT := flag.Bool("nojit", false, "disable the superblock JIT (interpreter-only engine, for differential checks)")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
 	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat-clone oracle, for differential checks)")
 	tracePath := flag.String("trace", "", "export the run as Chrome trace-event JSON to this file (kernel form)")
@@ -43,6 +44,7 @@ func main() {
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	isa.SetJIT(!*noJIT)
 	mem.SetCOW(!*noCOW)
 	if *noObs {
 		obs.SetMetrics(false)

@@ -57,6 +57,8 @@ func main() {
 		"disable execute certificates (per-word fetch checks); campaigns must report identical bytes either way")
 	noThread := flag.Bool("nothread", false,
 		"disable threaded dispatch (switch-executor engine); campaigns must report identical bytes either way")
+	noJIT := flag.Bool("nojit", false,
+		"disable the superblock JIT (interpreter-only engine); campaigns must report identical bytes either way")
 	noObs := flag.Bool("noobs", false,
 		"disable observability (metrics and tracing); campaigns must report identical bytes either way")
 	noCOW := flag.Bool("nocow", false,
@@ -69,6 +71,7 @@ func main() {
 	isa.SetFusion(!*noFuse)
 	mem.SetExecCerts(!*noCert)
 	isa.SetThreading(!*noThread)
+	isa.SetJIT(!*noJIT)
 	mem.SetCOW(!*noCOW)
 	if *noObs {
 		obs.SetMetrics(false)

@@ -113,6 +113,13 @@ type CPU struct {
 	// which disables fusion entirely: a bare Step always retires exactly one
 	// instruction, preserving the historical single-step granularity.
 	fuseLimit uint64
+	// jit/jitBase are the attached superblock plan (see jit_exec.go): block
+	// executors indexed by the same (pc - base) >> 1 slot arithmetic as the
+	// decode cache. The plan is compiled once per Program and shared; like
+	// fusion, block execution is additionally gated on fuseLimit so bare
+	// Step keeps single-instruction granularity.
+	jit     []*compiledBlock
+	jitBase uint16
 	// slow is the live-decode path's reusable checked word reader (a field
 	// so taking its address for the isa.WordReader interface never
 	// allocates on the per-instruction path).
@@ -229,18 +236,22 @@ func (c *CPU) serviceInterrupt() *Fault {
 // load) detaches the cache and the watch.
 func (c *CPU) UseProgram(p *isa.Program) {
 	c.dirty = nil
+	c.jit, c.jitBase = nil, 0
 	if p == nil || decodeCacheOff.Load() {
 		c.prog = nil
 		c.Bus.WatchCode(nil, nil)
 		return
 	}
 	c.prog = p
-	ranges := p.Ranges()
-	watch := make([]mem.CodeRange, len(ranges))
-	for i, r := range ranges {
+	watch := make([]mem.CodeRange, p.NumRanges())
+	for i := range watch {
+		r := p.RangeAt(i)
 		watch[i] = mem.CodeRange{Lo: r.Lo, Hi: r.Hi}
 	}
 	c.Bus.WatchCode(watch, c.invalidateCode)
+	if plan, _ := p.JITPlan(func() any { return compileJITPlan(p) }).(*jitPlan); plan != nil {
+		c.jit, c.jitBase = plan.blocks, plan.base
+	}
 }
 
 // Program returns the attached predecode cache, if any.
@@ -294,6 +305,18 @@ func (c *CPU) Step() *Fault {
 	pc := c.PC()
 	if c.prog != nil {
 		if e := c.prog.At(pc); e != nil {
+			// Superblock fast path: a compiled block headed here runs whole
+			// atomic segments at a time (jit_exec.go); done=false means it
+			// deopted before retiring anything and this Step proceeds
+			// normally. The slot index is in range because At succeeded and
+			// the plan mirrors the cache's slot table.
+			if c.jit != nil && c.Cycles < c.fuseLimit {
+				if b := c.jit[(pc-c.jitBase)>>1]; b != nil {
+					if f, done := c.runBlock(b); done {
+						return f
+					}
+				}
+			}
 			if f := e.Fused; f != nil && c.Cycles < c.fuseLimit && !c.spanDirty(pc, f.Size) {
 				if f.Fast {
 					return c.stepFusedPair(pc, f)

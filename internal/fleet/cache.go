@@ -65,9 +65,9 @@ func NewBuildCache() *BuildCache {
 // say, fusion off must not be served to a run expecting it on.
 func cacheKey(list []apps.App, mode cc.Mode) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode=%d|dc=%t|fuse=%t|thread=%t|cert=%t",
+	fmt.Fprintf(&b, "mode=%d|dc=%t|fuse=%t|thread=%t|cert=%t|jit=%t",
 		int(mode), cpu.DecodeCacheEnabled(), isa.FusionEnabled(),
-		isa.ThreadingEnabled(), mem.ExecCertsEnabled())
+		isa.ThreadingEnabled(), mem.ExecCertsEnabled(), isa.JITEnabled())
 	for _, a := range list {
 		fmt.Fprintf(&b, "|%q;%q;%q;%d", a.Name, a.Source, a.RestrictedSource, a.StackBytes)
 	}

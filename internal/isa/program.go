@@ -15,6 +15,8 @@ package isa
 // the CPU's job: it tracks overwritten code words and falls back to the live
 // decoder for them (see cpu.UseProgram).
 
+import "sync"
+
 // TextRange is one executable text span [Lo, Hi) of an image. Ranges must
 // not wrap the address space.
 type TextRange struct {
@@ -42,6 +44,16 @@ type Program struct {
 	ranges []TextRange
 	cached int
 	fused  int
+	// blocks are the superblocks discovered for the block JIT (see jit.go);
+	// empty when SetJIT was off at build time.
+	blocks []Block
+	// jitOnce/jitPlan hold the compiled executor plan a CPU package binds to
+	// this program (see JITPlan). The plan lives on the Program — not in a
+	// global table — so it shares the Program's lifetime and, like the
+	// decode cache itself, is built once and shared by every machine running
+	// this firmware.
+	jitOnce sync.Once
+	jitPlan any
 }
 
 // Predecode decodes every word-aligned offset of the given text ranges
@@ -97,6 +109,9 @@ func Predecode(r WordReader, ranges []TextRange) *Program {
 	if FusionEnabled() {
 		p.fuse()
 	}
+	if JITEnabled() {
+		p.discoverBlocks()
+	}
 	return p
 }
 
@@ -118,9 +133,20 @@ func (p *Program) At(pc uint16) *CachedInstr {
 }
 
 // Ranges returns the text ranges the cache covers (the spans a bus watch
-// must guard against writes). The slice is a copy: the Program is shared
-// read-only across machines, so callers must not be able to mutate it.
+// must guard against writes). The slice is a fresh copy on EVERY call — the
+// Program is shared read-only across machines, so callers must not be able
+// to mutate the backing array, and memoizing one copy would just move the
+// aliasing hazard to whichever caller got it first. Allocation-sensitive
+// callers (per-device boot paths) should iterate with NumRanges/RangeAt
+// instead of calling this in a loop.
 func (p *Program) Ranges() []TextRange { return append([]TextRange(nil), p.ranges...) }
+
+// NumRanges returns how many text ranges the cache covers.
+func (p *Program) NumRanges() int { return len(p.ranges) }
+
+// RangeAt returns the i-th text range — the allocation-free companion to
+// Ranges for hot boot paths.
+func (p *Program) RangeAt(i int) TextRange { return p.ranges[i] }
 
 // Cached returns how many instruction slots decoded successfully —
 // introspection for tests and tooling.
@@ -129,3 +155,30 @@ func (p *Program) Cached() int { return p.cached }
 // FusedHeads returns how many slots head a fused superinstruction —
 // introspection for tests and tooling.
 func (p *Program) FusedHeads() int { return p.fused }
+
+// Blocks returns how many superblocks discovery found — introspection for
+// tests and tooling, beside Cached and FusedHeads.
+func (p *Program) Blocks() int { return len(p.blocks) }
+
+// BlockSpans returns the discovered superblocks, sorted by address. The
+// slice is shared and must be treated as read-only (it is consumed once per
+// Program by the JIT plan build, not per device).
+func (p *Program) BlockSpans() []Block { return p.blocks }
+
+// Base returns the lowest word-aligned address the cache covers, and Slots
+// the number of word slots from it — together they define the slot indexing
+// ((pc - Base) >> 1) a JIT plan mirrors for its block table.
+func (p *Program) Base() uint16 { return p.base }
+
+// Slots returns the number of word-aligned instruction slots in the cache.
+func (p *Program) Slots() int { return len(p.ins) }
+
+// JITPlan returns the compiled-executor plan bound to this program, building
+// it on first use via build. The plan type is opaque to isa (the CPU package
+// owns the executors); storing it here gives it exactly the Program's
+// lifetime and shares one compile across every machine and fleet device
+// running this firmware. Concurrent callers coalesce on the one build.
+func (p *Program) JITPlan(build func() any) any {
+	p.jitOnce.Do(func() { p.jitPlan = build() })
+	return p.jitPlan
+}

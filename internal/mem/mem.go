@@ -737,6 +737,28 @@ func (b *Bus) execCertified(addr, size uint16) bool {
 	return a >= b.certLo && a+uint32(size) <= b.certHi
 }
 
+// ExecCertifiedSpan reports whether a compiled block's whole fetch span
+// [addr, addr+size) is covered by a valid execute certificate AND the
+// certificate fast path is actually in force — no profiling hook observing
+// accesses and certificates not disabled. It is the entry (and post-write
+// re-probe) gate for the block JIT: when it returns true, every
+// per-instruction FetchWords inside the span would take the counter-only
+// fast path, so a block executor may batch that accounting; when false the
+// block deopts and the interpreter's per-word oracle does whatever it would
+// have done anyway.
+func (b *Bus) ExecCertifiedSpan(addr, size uint16) bool {
+	if b.OnAccess != nil || execCertsOff.Load() {
+		return false
+	}
+	return b.execCertified(addr, size)
+}
+
+// AddFetchWords advances the fetch counter by n words without checks or
+// profiling — the block JIT's accounting primitive, valid only under a span
+// certificate (see ExecCertifiedSpan), where it is observably identical to
+// the per-instruction FetchWords fast path.
+func (b *Bus) AddFetchWords(n uint64) { b.fetches += n }
+
 // DropExecCert empties the certified execute span without touching the
 // generation, forcing per-word checks until the next plan change
 // re-certifies. The code watch calls it on any write into watched text;

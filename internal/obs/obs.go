@@ -80,6 +80,14 @@ const (
 	MetricInstrSimulated   = "amulet_fleet_instr_simulated_total"
 	MetricWearMS           = "amulet_fleet_wear_ms_total"
 
+	MetricJITBlocksCompiled = "amulet_jit_blocks_compiled"
+	MetricJITStepsCompiled  = "amulet_jit_steps_compiled"
+	MetricJITFlagsElided    = "amulet_jit_flag_stores_elided"
+	MetricJITExtElided      = "amulet_jit_ext_words_elided"
+	MetricJITAddrsFolded    = "amulet_jit_addrs_folded"
+	MetricJITCompileNS      = "amulet_jit_compile_ns_total"
+	MetricJITDeopts         = "amulet_jit_deopts_total"
+
 	MetricCertDrops     = "amulet_mem_cert_drops_total"
 	MetricWatchInval    = "amulet_mem_watch_invalidations_total"
 	MetricPagesDirtied  = "amulet_mem_cow_pages_dirtied_total"

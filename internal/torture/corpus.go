@@ -144,12 +144,109 @@ int main() {
 	},
 }
 
+// jitCorpusCases are hand-written superblock-JIT regressions: programs whose
+// compiled form is dense in the shapes the block lifter optimizes and in the
+// boundaries that force deoptimization back to the interpreter. They replay
+// as ordinary differential cases, and TestCorpusReplayAcrossEngines replays
+// every corpus case across the {jit, nojit} axis of the engine matrix, which
+// is what locks these shapes down. (The deterministic IRQ-mid-block,
+// self-modifying-store and jump-into-interior reproducers live in
+// internal/cpu, where instruction layout is controlled by hand; the
+// gate-crossing and watchdog deopts ride the committed hosted-* cases.)
+var jitCorpusCases = []struct {
+	name, note, source string
+	restricted         bool
+}{
+	{
+		name: "jit-00-interior-entry",
+		note: "jit boundary: loop back-edges land inside long straight-line runs, entering overlapping blocks at interior heads",
+		source: `int g0;
+int g1;
+int main() {
+    int i; int a; int b;
+    a = 1; b = 2;
+    for (i = 0; i < 23; i++) {
+        a = a + b * 3 + 7;
+        b = b + a / 5 + 1;
+        a = a - b / 3;
+        b = b + 11;
+        a = a + b - 4;
+        if (a > 900) { a = a - 811; }
+    }
+    g0 = a;
+    g1 = b;
+    return a + b;
+}
+`,
+	},
+	{
+		name: "jit-01-store-dense",
+		note: "jit boundary: a global store every few instructions splits every block into short atomic segments with folded absolute addresses",
+		source: `int g0;
+int g1;
+int g2;
+int g3;
+int main() {
+    int i;
+    g0 = 0; g1 = 0; g2 = 0; g3 = 0;
+    for (i = 0; i < 17; i++) {
+        g0 = g0 + i;
+        g1 = g0 * 2 + g1;
+        g2 = g1 - g0 + 3;
+        g3 = g3 + g2 % 7;
+    }
+    return g0 + g1 + g2 + g3;
+}
+`,
+	},
+	{
+		name: "jit-02-flag-ladder",
+		note: "jit boundary: chained comparisons and pure arithmetic runs exercise dead-flag elision against live CMP+Jcc consumers",
+		source: `int g0;
+int main() {
+    int i; int s; int t;
+    s = 0; t = 5;
+    for (i = 0 - 8; i < 9; i++) {
+        t = t + i * 2;
+        s = s + t;
+        if (t < 0) { s = s + 1; }
+        if (t == 5) { s = s + 2; }
+        if (t > 40) { s = s - 3; }
+        if (s != 0) { t = t + 1; }
+    }
+    g0 = s;
+    return s + t;
+}
+`,
+	},
+	{
+		name:       "jit-03-call-dense",
+		note:       "jit boundary: calls terminate blocks and return addresses head new ones; restricted dialect under all four modes",
+		restricted: true,
+		source: `int g0;
+int a[6];
+int addup(int n) {
+    int j; int s;
+    s = 0;
+    for (j = 0; j < n; j++) { s = s + a[j]; }
+    return s;
+}
+int main() {
+    int i;
+    for (i = 0; i < 6; i++) { a[i] = i * 3 + 1; }
+    g0 = addup(6) + addup(3) + addup(1);
+    return g0;
+}
+`,
+	},
+}
+
 // BuildCorpus deterministically regenerates the committed corpus into dir:
 // a slice of differential programs straight from the generator, plus
 // adversarial and hosted reproducers shrunk to their minimal trapping form
 // (the predicate preserves the full per-mode layer attribution), plus the
-// hand-written fusion-boundary regressions above. Returns the written case
-// names.
+// hand-written fusion-boundary and superblock-JIT regressions above. Returns
+// the written case names.
 func BuildCorpus(dir string, seed uint64) ([]string, error) {
 	var names []string
 	write := func(c *Case) error {
@@ -218,9 +315,13 @@ func BuildCorpus(dir string, seed uint64) ([]string, error) {
 		}
 	}
 
-	// Fusion-boundary regressions: hand-written, validated before writing so
-	// a dialect or generator change cannot silently commit a failing case.
-	for _, fc := range fusionCorpusCases {
+	// Fusion-boundary and superblock-JIT regressions: hand-written, validated
+	// before writing so a dialect or generator change cannot silently commit
+	// a failing case.
+	for _, fc := range append(append([]struct {
+		name, note, source string
+		restricted         bool
+	}{}, fusionCorpusCases...), jitCorpusCases...) {
 		c := &Case{
 			Name:       fc.name,
 			Kind:       KindDifferential,
@@ -230,7 +331,7 @@ func BuildCorpus(dir string, seed uint64) ([]string, error) {
 			Note:       fc.note,
 		}
 		if out := Execute(c); !out.Pass {
-			return nil, fmt.Errorf("torture: fusion corpus case %s fails: %s", c.Name, out.Reason)
+			return nil, fmt.Errorf("torture: corpus case %s fails: %s", c.Name, out.Reason)
 		}
 		if err := write(c); err != nil {
 			return nil, err

@@ -17,24 +17,35 @@ import (
 	"amuletiso/internal/obs"
 )
 
-// engineCfg is one cell of the {threading, fusion, certificates} matrix the
-// battery sweeps. Threading and fusion are build-time properties (they shape
-// the predecode cache), certificates a run-time one (they shape the fetch
-// path).
+// engineCfg is one cell of the {threading, fusion, certificates, jit} matrix
+// the battery sweeps. Threading, fusion and the superblock JIT are build-time
+// properties (they shape the predecode cache and the compiled block plan),
+// certificates a run-time one (they shape the fetch path).
 type engineCfg struct {
-	name                string
-	thread, fuse, certs bool
+	name                     string
+	thread, fuse, certs, jit bool
 }
 
-var engineMatrix = []engineCfg{
-	{"threaded+fused+certified", true, true, true},
-	{"threaded+fused+perword", true, true, false},
-	{"threaded+unfused+certified", true, false, true},
-	{"threaded+unfused+perword", true, false, false},
-	{"switch+fused+certified", false, true, true},
-	{"switch+fused+perword", false, true, false},
-	{"switch+unfused+certified", false, false, true},
-	{"switch+unfused+perword", false, false, false},
+// engineMatrix is all 16 cells, jit innermost so adjacent indices differ only
+// on the JIT axis and the certified cells stay easy to enumerate.
+var engineMatrix = buildEngineMatrix()
+
+func buildEngineMatrix() []engineCfg {
+	var m []engineCfg
+	for _, thread := range []bool{true, false} {
+		for _, fuse := range []bool{true, false} {
+			for _, certs := range []bool{true, false} {
+				for _, jit := range []bool{true, false} {
+					name := map[bool]string{true: "threaded", false: "switch"}[thread] +
+						map[bool]string{true: "+fused", false: "+unfused"}[fuse] +
+						map[bool]string{true: "+certified", false: "+perword"}[certs] +
+						map[bool]string{true: "+jit", false: "+nojit"}[jit]
+					m = append(m, engineCfg{name, thread, fuse, certs, jit})
+				}
+			}
+		}
+	}
+	return m
 }
 
 // resetEngines restores the production configuration.
@@ -42,6 +53,7 @@ func resetEngines() {
 	isa.SetThreading(true)
 	isa.SetFusion(true)
 	mem.SetExecCerts(true)
+	isa.SetJIT(true)
 	mem.SetCOW(true)
 }
 
@@ -71,6 +83,7 @@ func fingerprintStandalone(t *testing.T, src string, mode cc.Mode, cfg engineCfg
 	isa.SetThreading(cfg.thread)
 	isa.SetFusion(cfg.fuse)
 	mem.SetExecCerts(cfg.certs)
+	isa.SetJIT(cfg.jit)
 
 	p, err := cc.CompileProgram(unitName, src, cc.ProgramOptions{
 		Mode: mode, EnableMPU: mode == cc.ModeMPU,
@@ -120,7 +133,7 @@ func fingerprintStandalone(t *testing.T, src string, mode cc.Mode, cfg engineCfg
 // TestEngineEquivalenceBattery is the engine lockdown: generated torture
 // programs — benign differential ones and fault-injecting adversarial ones —
 // must be byte-identical across {threaded, switch} × {fused, unfused} ×
-// {certified, per-word} under every isolation mode: exit state, cycle
+// {certified, per-word} × {jit, nojit} under every isolation mode: exit state, cycle
 // counts, instruction counts, bus statistics, MPU violation state, final
 // global bytes, and the complete access trace (compared across the threading
 // and fusion axes; the certificate fast path is only taken when no profiler
@@ -153,14 +166,19 @@ func TestEngineEquivalenceBattery(t *testing.T) {
 					}
 				}
 				// Trace pass under the profiling hook: the certified cells
-				// of every {threading, fusion} combination must produce the
-				// identical access stream.
+				// of every {threading, fusion, jit} combination must produce
+				// the identical access stream. (A profiler lawfully disables
+				// both the certificate fast path and block execution, so this
+				// also proves the jit entry check defers to the profiler.)
 				ref = fingerprintStandalone(t, c.Source, mode, engineMatrix[0], true)
-				for _, j := range []int{2, 4, 6} {
-					b := fingerprintStandalone(t, c.Source, mode, engineMatrix[j], true)
+				for j, cfg := range engineMatrix {
+					if j == 0 || !cfg.certs {
+						continue
+					}
+					b := fingerprintStandalone(t, c.Source, mode, cfg, true)
 					if ref != b {
 						t.Fatalf("%s case %d %v: access traces diverged\n  %s: %+v\n  %s: %+v\n%s",
-							kind, i, mode, engineMatrix[0].name, ref, engineMatrix[j].name, b, c.Source)
+							kind, i, mode, engineMatrix[0].name, ref, cfg.name, b, c.Source)
 					}
 				}
 			}
@@ -215,6 +233,7 @@ func TestCampaignByteIdenticalAcrossEngines(t *testing.T) {
 			isa.SetThreading(cfg.thread)
 			isa.SetFusion(cfg.fuse)
 			mem.SetExecCerts(cfg.certs)
+			isa.SetJIT(cfg.jit)
 			check(cfg.name)
 			mem.SetCOW(false)
 			check(cfg.name + "+nocow")
@@ -269,6 +288,7 @@ func TestCorpusReplayAcrossEngines(t *testing.T) {
 			isa.SetThreading(cfg.thread)
 			isa.SetFusion(cfg.fuse)
 			mem.SetExecCerts(cfg.certs)
+			isa.SetJIT(cfg.jit)
 			replay(cfg.name)
 		}
 		resetEngines()
