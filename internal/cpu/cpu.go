@@ -124,6 +124,11 @@ type CPU struct {
 	// so taking its address for the isa.WordReader interface never
 	// allocates on the per-instruction path).
 	slow slowFetch
+
+	// timer/mpy are the peripheral devices New maps onto the bus, kept so
+	// State/SetState can checkpoint their registers alongside the core.
+	timer *TimerA
+	mpy   *MPY32
 }
 
 // slowFetch feeds the decoder through the checked bus fetch path, latching
@@ -153,9 +158,11 @@ func (s *slowFetch) ReadCodeWord(addr uint16) uint16 {
 func New(bus *mem.Bus) *CPU {
 	c := &CPU{Bus: bus}
 	c.slow.bus = bus
+	c.timer = &TimerA{c: c}
+	c.mpy = &MPY32{}
 	bus.Map(portBase, portLimit, &portDevice{c})
-	bus.Map(TimerBase, TimerBase+0x1E, &TimerA{c: c})
-	bus.Map(MPYBase, MPYResHi+1, &MPY32{})
+	bus.Map(TimerBase, TimerBase+0x1E, c.timer)
+	bus.Map(MPYBase, MPYResHi+1, c.mpy)
 	return c
 }
 

@@ -229,6 +229,38 @@ func DeviceSeed(fleetSeed uint64, device int) uint32 {
 // batches rather than only between segments); either way the delivered
 // event sequence — and therefore the DeviceResult — is identical.
 func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, arena *mem.PageArena, device int) (DeviceResult, error) {
+	d := newDeviceSim(sc, tmpl, arena, device)
+	// The deferred close releases the device's COW pages on EVERY exit —
+	// including the cancellation returns inside advance, which used to skip
+	// the release and leak the cancelled device's dirty pages for good.
+	defer d.close()
+	if err := d.advance(ctx, sc.DurationMS); err != nil {
+		return DeviceResult{}, err
+	}
+	return d.result(), nil
+}
+
+// deviceSim is one device mid-wear-window: the kernel plus the segment-loop
+// cursors (injection deadlines, button RNG, delivered-event count) that
+// simulate's old closed loop kept on the stack. Factoring them out lets a
+// device stop at any segment boundary, be serialized (DeviceCheckpoint), and
+// continue on another runner — the substrate for resumable campaigns.
+type deviceSim struct {
+	sc     *Scenario
+	tmpl   *kernel.BootTemplate
+	k      *kernel.Kernel
+	device int
+	seed   uint32
+
+	events     int
+	now        uint64
+	nextButton uint64
+	nextFault  uint64
+	buttonRNG  uint64
+}
+
+// newDeviceSim boots a fresh device at the start of its wear window.
+func newDeviceSim(sc *Scenario, tmpl *kernel.BootTemplate, arena *mem.PageArena, device int) *deviceSim {
 	seed := DeviceSeed(sc.Seed, device)
 	mDevicesStarted.Inc()
 	k := tmpl.NewKernelArena(seed, arena)
@@ -247,55 +279,75 @@ func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, aren
 	for _, ev := range sc.Events {
 		k.PostPeriodic(ev.App, ev.Code, ev.Arg, ev.AtMS, ev.PeriodMS)
 	}
+	return &deviceSim{
+		sc: sc, tmpl: tmpl, k: k, device: device, seed: seed,
+		nextButton: injectStart(sc.ButtonEveryMS),
+		nextFault:  injectStart(sc.FaultEveryMS),
+		buttonRNG:  uint64(seed),
+	}
+}
 
+// advance walks the wear window to min(until, DurationMS). Extra stopping
+// points are observably free — RunUntil(t1);RunUntil(t2) delivers exactly
+// what RunUntil(t2) would — so callers may segment the window however they
+// like (simulate uses one segment; resumable runs stop per checkpoint
+// interval). On cancellation the device stays parked between event
+// deliveries: a subsequent advance (or checkpoint) continues it exactly.
+func (d *deviceSim) advance(ctx context.Context, until uint64) error {
+	if until > d.sc.DurationMS {
+		until = d.sc.DurationMS
+	}
 	batch := BatchingEnabled()
-	events := 0
-	now := uint64(0)
-	nextButton := injectStart(sc.ButtonEveryMS)
-	nextFault := injectStart(sc.FaultEveryMS)
-	buttonRNG := uint64(seed)
-	for now < sc.DurationMS {
+	for d.now < until {
 		if err := ctx.Err(); err != nil {
-			return DeviceResult{}, err
+			return err
 		}
-		next := sc.DurationMS
-		if nextButton < next {
-			next = nextButton
+		next := until
+		if d.nextButton < next {
+			next = d.nextButton
 		}
-		if nextFault < next {
-			next = nextFault
+		if d.nextFault < next {
+			next = d.nextFault
 		}
 		if batch {
 			for {
-				n, more := k.RunBatch(next, EventBatch)
-				events += n
+				n, more := d.k.RunBatch(next, EventBatch)
+				d.events += n
 				if !more {
 					break
 				}
 				if err := ctx.Err(); err != nil {
-					return DeviceResult{}, err
+					return err
 				}
 			}
 		} else {
-			events += k.RunUntil(next)
+			d.events += d.k.RunUntil(next)
 		}
-		now = next
-		if now == nextButton {
-			buttonRNG = splitmix64(buttonRNG)
-			k.InjectButton(uint16(buttonRNG%3) + 1)
-			nextButton += sc.ButtonEveryMS
+		d.now = next
+		if d.now == d.nextButton {
+			d.buttonRNG = splitmix64(d.buttonRNG)
+			d.k.InjectButton(uint16(d.buttonRNG%3) + 1)
+			d.nextButton += d.sc.ButtonEveryMS
 		}
-		if now == nextFault {
-			k.InjectFault(sc.FaultApp, "fleet: injected fault")
-			nextFault += sc.FaultEveryMS
+		if d.now == d.nextFault {
+			d.k.InjectFault(d.sc.FaultApp, "fleet: injected fault")
+			d.nextFault += d.sc.FaultEveryMS
 		}
 	}
+	return nil
+}
 
+// finished reports whether the device has worn through its whole window.
+func (d *deviceSim) finished() bool { return d.now >= d.sc.DurationMS }
+
+// result assembles the DeviceResult of a finished device.
+func (d *deviceSim) result() DeviceResult {
+	k := d.k
 	dispatches, syscalls, cycles := k.Totals()
 	res := DeviceResult{
-		Device:           device,
-		Seed:             seed,
-		Events:           events,
+		Device:           d.device,
+		Seed:             d.seed,
+		Events:           d.events,
 		Dispatches:       dispatches,
 		Syscalls:         syscalls,
 		Cycles:           cycles,
@@ -303,7 +355,7 @@ func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, aren
 		OSCycles:         k.OSCycles,
 		Faults:           len(k.Faults),
 		Latency:          k.Latency,
-		WeeklyBatteryPct: batteryPct(cycles, sc.DurationMS),
+		WeeklyBatteryPct: batteryPct(cycles, d.sc.DurationMS),
 	}
 	for _, a := range k.Apps {
 		if a.Alive {
@@ -314,17 +366,18 @@ func simulate(ctx context.Context, sc *Scenario, tmpl *kernel.BootTemplate, aren
 		res.FaultReasons = append(res.FaultReasons, f.Reason)
 		res.FaultClasses = append(res.FaultClasses, f.Class.String())
 	}
-	if sc.FaultTrace && len(k.Faults) > 0 {
+	if d.sc.FaultTrace && len(k.Faults) > 0 {
 		res.FaultTrace = k.Recorder().Dump(faultTraceWindow)
 	}
-	// The result is fully built; the device's memory is dead. Hand its dirty
-	// COW pages back for the next boot to reuse (no-op on a flat oracle bus).
-	k.Bus.ReleasePages()
 	mDevicesCompleted.Inc()
 	mInstrSimulated.Add(k.CPU.Insns)
-	mWearMS.Add(sc.DurationMS)
-	return res, nil
+	mWearMS.Add(d.sc.DurationMS)
+	return res
 }
+
+// close hands the device's dirty COW pages back to the arena (no-op on a
+// flat oracle bus). Idempotent, so callers defer it unconditionally.
+func (d *deviceSim) close() { d.k.Bus.ReleasePages() }
 
 // faultTraceWindow is how many trailing flight-recorder events a faulting
 // device's DeviceResult carries when Scenario.FaultTrace is set.

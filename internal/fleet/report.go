@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"amuletiso/internal/arp"
@@ -66,7 +67,10 @@ func summarize(vals []float64) Summary {
 	copy(s, vals)
 	sort.Float64s(s)
 	rank := func(p float64) float64 {
-		i := int(p/100*float64(len(s))+0.5) - 1
+		// Nearest-rank wants the ceiling, matching obs.CycleHist.Quantile:
+		// p90 over 7 devices is rank ceil(6.3) = 7 → s[6], not the s[5] the
+		// old round-half-up conversion produced.
+		i := int(math.Ceil(p/100*float64(len(s)))) - 1
 		if i < 0 {
 			i = 0
 		}

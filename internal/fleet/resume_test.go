@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"amuletiso/internal/mem"
+)
+
+// cancelAfter is a deterministic cancellation source: its Err starts
+// returning context.Canceled after the limit-th poll, wherever in the run
+// that poll lands. Unlike a timer-based cancel, the same limit interrupts
+// the same scenario at the same place every time.
+type cancelAfter struct {
+	context.Context
+	mu     sync.Mutex
+	checks int
+	limit  int
+}
+
+func newCancelAfter(limit int) *cancelAfter {
+	return &cancelAfter{Context: context.Background(), limit: limit}
+}
+
+func (c *cancelAfter) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checks++
+	if c.checks > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelledSimulateReleasesPages is the leak regression: a device whose
+// simulation is cancelled mid-window must still hand its dirty COW pages
+// back to the arena. The early returns in the old simulate skipped
+// ReleasePages, so every cancelled device leaked its pages permanently.
+func TestCancelledSimulateReleasesPages(t *testing.T) {
+	mem.SetCOW(true)
+	defer mem.SetCOW(true)
+	sc := testScenario(1)
+	cache := NewBuildCache()
+	tmpl, err := cache.Template(sc.Apps, sc.Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{1, 2, 3} {
+		arena := mem.NewPageArena()
+		ctx := newCancelAfter(limit)
+		if _, err := simulate(ctx, &sc, tmpl, arena, 0); err != context.Canceled {
+			t.Fatalf("limit=%d: err = %v, want context.Canceled", limit, err)
+		}
+		// Every page the cancelled device dirtied must be back in the arena:
+		// the free list is exactly the pages it released (nothing else ran).
+		if free := arena.FreePages(); free == 0 {
+			t.Fatalf("limit=%d: cancelled device returned no pages to the arena", limit)
+		}
+	}
+}
+
+// TestCancelledRunReleasesPages checks the same invariant through the public
+// Runner path: after a cancelled Run on a warmed arena, every page borrowed
+// from the free list came back (free count did not shrink).
+func TestCancelledRunReleasesPages(t *testing.T) {
+	mem.SetCOW(true)
+	defer mem.SetCOW(true)
+	sc := testScenario(6)
+	r := &Runner{Workers: 2, Cache: NewBuildCache()}
+	if _, err := r.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := r.pageArena().FreePages()
+	if freeBefore == 0 {
+		t.Fatal("warm-up run parked no pages")
+	}
+	if _, err := r.Run(newCancelAfter(20), sc); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if free := r.pageArena().FreePages(); free < freeBefore {
+		t.Fatalf("cancelled run leaked pages: free %d -> %d", freeBefore, free)
+	}
+	gets, puts := r.ArenaStats()
+	if gets == 0 || puts == 0 {
+		t.Fatalf("arena did not cycle (gets=%d puts=%d)", gets, puts)
+	}
+}
+
+// TestRunResumableMatchesRun: with no prior cut and no interruptions, the
+// resumable path must be byte-identical to Run at any segment length.
+func TestRunResumableMatchesRun(t *testing.T) {
+	sc := testScenario(5)
+	want, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []uint64{0, 300, 1250, 10000} {
+		r := &Runner{Workers: 2, Cache: NewBuildCache()}
+		rep, cut, err := r.RunResumable(context.Background(), sc, nil, ResumableOptions{SegmentMS: seg})
+		if err != nil {
+			t.Fatalf("seg=%d: %v", seg, err)
+		}
+		if cut != nil {
+			t.Fatalf("seg=%d: successful run returned a cut", seg)
+		}
+		if !bytes.Equal(marshal(t, rep), marshal(t, want)) {
+			t.Fatalf("seg=%d: resumable report differs from Run", seg)
+		}
+	}
+}
+
+// TestKilledAndResumedCampaignByteIdentity is the tentpole acceptance
+// property: interrupt a campaign (twice), JSON round-trip the cut each time
+// as a daemon restart would, resume, and compare the final report
+// byte-for-byte against an uninterrupted run.
+func TestKilledAndResumedCampaignByteIdentity(t *testing.T) {
+	sc := testScenario(8)
+	want, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := ResumableOptions{SegmentMS: 700}
+	var cut *CampaignCheckpoint
+	for round, limit := range []int{25, 60} {
+		r := &Runner{Workers: 2, Cache: NewBuildCache()}
+		rep, c, err := r.RunResumable(newCancelAfter(limit), sc, cut, opt)
+		if err != context.Canceled {
+			t.Fatalf("round %d: err = %v, want context.Canceled", round, err)
+		}
+		if rep != nil {
+			t.Fatalf("round %d: cancelled run returned a report", round)
+		}
+		if c == nil {
+			t.Fatalf("round %d: cancelled run returned no cut", round)
+		}
+		// Round-trip through JSON — the form a daemon's state file holds.
+		wire, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("round %d: marshal cut: %v", round, err)
+		}
+		cut = new(CampaignCheckpoint)
+		if err := json.Unmarshal(wire, cut); err != nil {
+			t.Fatalf("round %d: unmarshal cut: %v", round, err)
+		}
+	}
+	if len(cut.Done)+len(cut.InFlight) == 0 {
+		t.Fatal("two interrupted rounds made no checkpointable progress")
+	}
+
+	r := &Runner{Workers: 3, Cache: NewBuildCache()}
+	rep, c, err := r.RunResumable(context.Background(), sc, cut, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Fatal("finished resume returned a cut")
+	}
+	if !bytes.Equal(marshal(t, rep), marshal(t, want)) {
+		t.Fatal("killed+resumed campaign differs from uninterrupted run")
+	}
+}
+
+// TestResumableFaultTraceRerunsFromBoot: fault-trace scenarios cannot
+// snapshot (the recorder ring is not serializable) — a cancelled run's cut
+// must carry no in-flight state, and resuming must still converge on the
+// uninterrupted bytes by rerunning interrupted devices.
+func TestResumableFaultTraceRerunsFromBoot(t *testing.T) {
+	sc := testScenario(4)
+	sc.FaultTrace = true
+	want, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 2, Cache: NewBuildCache()}
+	_, cut, err := r.RunResumable(newCancelAfter(15), sc, nil, ResumableOptions{SegmentMS: 500})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(cut.InFlight) != 0 {
+		t.Fatalf("fault-trace cut carries %d in-flight snapshots", len(cut.InFlight))
+	}
+	rep, _, err := r.RunResumable(context.Background(), sc, cut, ResumableOptions{SegmentMS: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, rep), marshal(t, want)) {
+		t.Fatal("resumed fault-trace campaign differs from uninterrupted run")
+	}
+}
+
+// TestRunResumableRejectsForeignCut covers the identity validation.
+func TestRunResumableRejectsForeignCut(t *testing.T) {
+	sc := testScenario(3)
+	r := &Runner{Workers: 2, Cache: NewBuildCache()}
+	_, cut, err := r.RunResumable(newCancelAfter(5), sc, nil, ResumableOptions{SegmentMS: 500})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for name, mutate := range map[string]func(*CampaignCheckpoint){
+		"scenario": func(c *CampaignCheckpoint) { c.Scenario = "other" },
+		"mode":     func(c *CampaignCheckpoint) { c.Mode = "NoIsolation" },
+		"seed":     func(c *CampaignCheckpoint) { c.Seed++ },
+		"duration": func(c *CampaignCheckpoint) { c.DurationMS++ },
+		"shard":    func(c *CampaignCheckpoint) { c.FirstDevice++ },
+		"devices":  func(c *CampaignCheckpoint) { c.Devices++ },
+	} {
+		bad := *cut
+		mutate(&bad)
+		if _, _, err := r.RunResumable(context.Background(), sc, &bad, ResumableOptions{}); err == nil {
+			t.Errorf("%s-mutated cut accepted", name)
+		}
+	}
+}

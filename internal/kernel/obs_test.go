@@ -14,6 +14,10 @@ import (
 // booted with tracing armed carry a flight recorder, kernels booted without
 // do not.
 func TestRecorderAttachesUnderTracing(t *testing.T) {
+	// AMULET_OBS_TRACE=1 (the CI race leg) arms tracing at init; this test
+	// needs both states explicitly, so disarm first and restore after.
+	defer obs.SetTracing(obs.TracingEnabled())
+	obs.SetTracing(false)
 	k := build(t, cc.ModeMPU, aft.AppSource{Name: "counter", Source: counterApp})
 	if k.Recorder() != nil {
 		t.Fatal("recorder attached with tracing off")

@@ -26,6 +26,11 @@ func NewSensors(seed uint32) *Sensors {
 	return &Sensors{seed: seed}
 }
 
+// Seed returns the suite's noise seed — the value a checkpoint must carry so
+// a resumed device reproduces the same waveforms. It is the normalized seed
+// (NewSensors maps 0 to 1), so re-booting with it is idempotent.
+func (s *Sensors) Seed() uint32 { return s.seed }
+
 // noise returns a small deterministic pseudo-random value in [-n, n],
 // keyed by time and stream so different sensors decorrelate.
 func (s *Sensors) noise(t uint64, stream uint32, n int) int {

@@ -255,6 +255,50 @@ func (u *Unit) Configure(b1, b2, sam uint16, enable bool) {
 	u.bump()
 }
 
+// State is a serializable snapshot of the unit's architectural state: the
+// register file (including the password-protected control bits an app may
+// have latched, like CtlLock), capability, and the cumulative violation
+// count. The configuration generation and span memos are deliberately
+// excluded — they are caches, rebuilt on demand, and restoring them would
+// couple checkpoints to an implementation detail.
+type State struct {
+	Cap        Capability `json:"cap,omitempty"`
+	CTL0       uint16     `json:"ctl0"`
+	CTL1       uint16     `json:"ctl1,omitempty"`
+	SegB1      uint16     `json:"segB1"`
+	SegB2      uint16     `json:"segB2"`
+	SAM        uint16     `json:"sam"`
+	Violations uint64     `json:"violations,omitempty"`
+}
+
+// State captures the unit's architectural state for checkpointing.
+func (u *Unit) State() State {
+	return State{
+		Cap:        u.Cap,
+		CTL0:       u.ctl0,
+		CTL1:       u.ctl1,
+		SegB1:      u.segB1,
+		SegB2:      u.segB2,
+		SAM:        u.sam,
+		Violations: u.violations,
+	}
+}
+
+// SetState restores a snapshot taken with State. It counts as a
+// configuration change (the generation advances), so any execute
+// certificate issued before the restore is re-validated against the
+// restored plan.
+func (u *Unit) SetState(s State) {
+	u.Cap = s.Cap
+	u.ctl0 = s.CTL0
+	u.ctl1 = s.CTL1
+	u.segB1 = s.SegB1 &^ (Granularity - 1)
+	u.segB2 = s.SegB2 &^ (Granularity - 1)
+	u.sam = s.SAM
+	u.violations = s.Violations
+	u.bump()
+}
+
 // segmentOf classifies an address: 0 = InfoMem, 1..3 = main segments,
 // -1 = outside MPU coverage.
 func (u *Unit) segmentOf(addr uint16) int {

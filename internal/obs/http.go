@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -8,16 +9,17 @@ import (
 	"time"
 )
 
-// Serve exposes reg at /metrics and the standard pprof handlers at
-// /debug/pprof/ on addr, using a private mux (no global side effects). It
-// returns the bound listener address — useful with a ":0" addr in tests —
-// and a shutdown func. The server runs until stop is called or the process
-// exits.
-func Serve(addr string, reg *Registry) (string, func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// ShutdownTimeout bounds how long a Serve stop func waits for in-flight
+// requests (a /metrics scrape mid-body, a pprof profile) before falling back
+// to a hard close. Long-running daemons want scrapes to complete; nothing
+// wants to hang a shutdown behind a stuck client.
+const ShutdownTimeout = 2 * time.Second
+
+// Handler returns an http.Handler exposing reg at /metrics and the standard
+// pprof handlers at /debug/pprof/ — the observability surface as a mountable
+// unit, so long-running servers (amuletfleetd) can serve it on the same mux
+// as their own API instead of a second port.
+func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,8 +30,33 @@ func Serve(addr string, reg *Registry) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// Serve exposes reg at /metrics and the standard pprof handlers at
+// /debug/pprof/ on addr, using a private mux (no global side effects). It
+// returns the bound listener address — useful with a ":0" addr in tests —
+// and a shutdown func. The server runs until stop is called or the process
+// exits; stop drains in-flight requests for up to ShutdownTimeout before
+// closing the remaining connections, so a scrape racing the shutdown still
+// receives its complete body.
+func Serve(addr string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	stop := func() { _ = srv.Close() }
-	return ln.Addr().String(), stop, nil
+	return ln.Addr().String(), func() { StopServer(srv) }, nil
+}
+
+// StopServer gracefully shuts down an http.Server: in-flight requests get
+// ShutdownTimeout to complete, then the remaining connections are closed
+// hard. Shared by Serve's stop func and the fleetd daemon's termination path.
+func StopServer(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
 }

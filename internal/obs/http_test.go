@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlerMountable asserts the observability surface works as a plain
+// http.Handler mounted under another server's mux — the fleetd use case.
+func TestHandlerMountable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mounted_total", "").Add(3)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "jobs")
+	})
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/pprof/", Handler(r))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/jobs":    "jobs",
+		"/metrics": "mounted_total 3",
+	} {
+		resp, err := http.Get("http://" + ln.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s: body %q missing %q", path, body, want)
+		}
+	}
+}
+
+// TestStopServerDrainsInFlightRequests is the graceful-shutdown contract:
+// a request already being served when stop is called must receive its
+// complete body instead of being cut off mid-response (the old srv.Close
+// behavior this replaces).
+func TestStopServerDrainsInFlightRequests(t *testing.T) {
+	const body = "complete-response-body"
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		<-release
+		_, _ = io.WriteString(w, body)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+
+	var (
+		got     []byte
+		getErr  error
+		getDone sync.WaitGroup
+	)
+	getDone.Add(1)
+	go func() {
+		defer getDone.Done()
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			getErr = err
+			return
+		}
+		defer resp.Body.Close()
+		got, getErr = io.ReadAll(resp.Body)
+	}()
+
+	<-inHandler // the request is in flight
+	stopped := make(chan struct{})
+	go func() { StopServer(srv); close(stopped) }()
+	// Give Shutdown a beat to start draining, then let the handler finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	<-stopped
+	getDone.Wait()
+	if getErr != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", getErr)
+	}
+	if string(got) != body {
+		t.Fatalf("in-flight request got %q, want %q", got, body)
+	}
+	// New connections must be refused after shutdown completes.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/slow"); err == nil {
+		t.Fatal("server accepted a request after StopServer returned")
+	}
+}
