@@ -67,6 +67,7 @@ type Snapshot struct {
 	Metrics     bool     `json:"metrics"`
 	Tracing     bool     `json:"tracing"`
 	COW         bool     `json:"cow"`
+	Power       bool     `json:"power"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -83,6 +84,7 @@ func main() {
 	noBatch := flag.Bool("nobatch", false, "disable fleet wear-window batching")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics; tracing stays per-benchmark)")
 	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat 64KiB clones, the memory oracle)")
+	noPower := flag.Bool("nopower", false, "disable the fleet intermittent-power model")
 	force := flag.Bool("force", false, "overwrite an existing snapshot file")
 	baseline := flag.String("baseline", "", "compare instr/s against this committed snapshot and fail on drift")
 	tolerance := flag.Float64("tolerance", 50,
@@ -98,6 +100,7 @@ func main() {
 	isa.SetJIT(!*noJIT)
 	fleet.SetBatching(!*noBatch)
 	mem.SetCOW(!*noCOW)
+	fleet.SetPower(!*noPower)
 	if *noObs {
 		obs.SetMetrics(false)
 	}
@@ -133,6 +136,9 @@ func main() {
 		if *noCOW {
 			parts = append(parts, "nocow")
 		}
+		if *noPower {
+			parts = append(parts, "nopower")
+		}
 		*label = strings.Join(parts, "-")
 	}
 
@@ -148,6 +154,7 @@ func main() {
 		Metrics:     obs.MetricsEnabled(),
 		Tracing:     obs.TracingEnabled(),
 		COW:         mem.COWEnabled(),
+		Power:       fleet.PowerEnabled(),
 	}
 	for _, b := range benches {
 		var res Result

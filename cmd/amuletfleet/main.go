@@ -48,6 +48,9 @@ func main() {
 	faultApp := flag.Int("fault-app", 0, "app index targeted by -fault-every")
 	maxFaults := flag.Int("max-faults", 3, "restart policy: faults before an app stays dead")
 	backoff := flag.Uint64("backoff", 1000, "restart policy: backoff before restart, ms")
+	powerTrace := flag.String("power-trace", "", "run devices on harvested power: solar, kinetic or recorded, optionally :mW peak (e.g. solar:4)")
+	brownoutEvery := flag.Uint64("brownout-every", 0, "force a brownout every N ms on every device (0 = off; excludes -power-trace)")
+	brownoutOff := flag.Uint64("brownout-off", 0, "forced-brownout dark time before reboot, ms (0 = 500)")
 	repeat := flag.Int("repeat", 1, "run each scenario this many times, must be >= 1 (soak mode: every run is a byte-identical re-run from the warm build cache and only the last report is kept — useful for live-metrics scrapes and leak hunts)")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON on stdout")
 	name := flag.String("name", "fleet", "scenario name recorded in the report")
@@ -59,6 +62,7 @@ func main() {
 	noBatch := flag.Bool("nobatch", false, "disable wear-window event batching (reports must be byte-identical either way)")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
 	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat 64KiB clones, the memory oracle; reports must be byte-identical either way)")
+	noPower := flag.Bool("nopower", false, "disable the intermittent-power model (ignore -power-trace/-brownout-every; reports must match a run without those flags byte-for-byte)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	faultTrace := flag.Bool("fault-trace", false, "attach per-device flight recorders and dump the last events of faulting devices into the report")
@@ -71,6 +75,7 @@ func main() {
 	isa.SetJIT(!*noJIT)
 	fleet.SetBatching(!*noBatch)
 	mem.SetCOW(!*noCOW)
+	fleet.SetPower(!*noPower)
 	if *repeat < 1 {
 		// The old `i < repeat || i == 0` loop silently ran once for 0 or
 		// negative repeats; that masks typos in soak scripts. Reject instead.
@@ -110,18 +115,21 @@ func main() {
 	var reports []*fleet.Report
 	for _, mode := range modes {
 		sc := fleet.Scenario{
-			Name:          *name,
-			Apps:          list,
-			Mode:          mode,
-			DurationMS:    *ms,
-			Devices:       *devices,
-			FirstDevice:   *firstDevice,
-			Seed:          *seed,
-			ButtonEveryMS: *buttonEvery,
-			FaultEveryMS:  *faultEvery,
-			FaultApp:      *faultApp,
-			FaultTrace:    *faultTrace,
-			Policy:        &kernel.RestartPolicy{MaxFaults: *maxFaults, BackoffMS: *backoff},
+			Name:            *name,
+			Apps:            list,
+			Mode:            mode,
+			DurationMS:      *ms,
+			Devices:         *devices,
+			FirstDevice:     *firstDevice,
+			Seed:            *seed,
+			ButtonEveryMS:   *buttonEvery,
+			FaultEveryMS:    *faultEvery,
+			FaultApp:        *faultApp,
+			FaultTrace:      *faultTrace,
+			PowerTrace:      *powerTrace,
+			BrownoutEveryMS: *brownoutEvery,
+			BrownoutOffMS:   *brownoutOff,
+			Policy:          &kernel.RestartPolicy{MaxFaults: *maxFaults, BackoffMS: *backoff},
 		}
 		start := time.Now()
 		var rep *fleet.Report
@@ -206,6 +214,11 @@ func printHuman(r *fleet.Report, elapsed time.Duration) {
 		r.CycleSummary.P99, r.CycleSummary.Max)
 	fmt.Printf("  weekly battery impact %%: p50=%.3f p99=%.3f max=%.3f\n",
 		r.BatterySummary.P50, r.BatterySummary.P99, r.BatterySummary.Max)
+	fmt.Printf("  projected battery lifetime (h): min=%.1f p50=%.1f p99=%.1f\n",
+		r.LifetimeSummary.Min, r.LifetimeSummary.P50, r.LifetimeSummary.P99)
+	if r.TotalBrownouts > 0 {
+		fmt.Printf("  brownouts=%d across %d devices\n", r.TotalBrownouts, r.DevicesBrownedOut)
+	}
 	if ls := r.LatencySummary; ls.Count > 0 {
 		fmt.Printf("  event latency (cycles): p50=%d p90=%d p99=%d max=%d over %d events\n",
 			ls.P50, ls.P90, ls.P99, ls.Max, ls.Count)

@@ -34,6 +34,7 @@ func main() {
 	resume := flag.Bool("resume", false, "reload persisted jobs from -state and continue interrupted campaigns")
 	parallel := flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores)")
 	shard := flag.Int("shard-devices", 25, "devices per sequentially scheduled, checkpointable shard (0 = whole fleet at once)")
+	shardProgs := flag.Int("shard-programs", 250, "torture programs per sequentially scheduled, mergeable shard (0 = whole campaign at once)")
 	segment := flag.Uint64("segment-ms", 5000, "virtual milliseconds between in-flight device snapshot refreshes")
 	flush := flag.Duration("flush", 2*time.Second, "real-time interval between checkpoint writes while a job runs")
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 	s := fleetd.NewServer(*state)
 	s.Runner = &fleet.Runner{Workers: *parallel, Cache: fleet.NewBuildCache()}
 	s.ShardDevices = *shard
+	s.ShardPrograms = *shardProgs
 	s.SegmentMS = *segment
 	s.FlushEvery = *flush
 	if *resume {

@@ -20,8 +20,10 @@ import (
 	"amuletiso/internal/cc"
 	"amuletiso/internal/cpu"
 	"amuletiso/internal/isa"
+	"amuletiso/internal/kernel"
 	"amuletiso/internal/mem"
 	"amuletiso/internal/obs"
+	"amuletiso/internal/power"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	noJIT := flag.Bool("nojit", false, "disable the superblock JIT (interpreter-only engine, for differential checks)")
 	noObs := flag.Bool("noobs", false, "disable observability (metrics and tracing)")
 	noCOW := flag.Bool("nocow", false, "disable copy-on-write device memory (flat-clone oracle, for differential checks)")
+	noPower := flag.Bool("nopower", false, "disable the intermittent-power model (ignore -power-trace; output must match a run without it)")
+	powerTrace := flag.String("power-trace", "", "run the device on harvested power: solar, kinetic or recorded, optionally :mW peak (kernel form)")
 	tracePath := flag.String("trace", "", "export the run as Chrome trace-event JSON to this file (kernel form)")
 	flag.Parse()
 
@@ -62,9 +66,14 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
+	if *noPower {
+		*powerTrace = ""
+	}
 	switch {
 	case *mainFile != "":
 		runStandalone(*mainFile, mode, *budget)
+	case *appName != "" && *powerTrace != "":
+		runAppPowered(*appName, mode, *ms, *powerTrace)
 	case *appName != "":
 		runApp(*appName, mode, *ms, *tracePath)
 	default:
@@ -148,6 +157,97 @@ func runApp(name string, mode cc.Mode, ms uint64, tracePath string) {
 	}
 	for _, f := range sys.Kernel.Faults {
 		fmt.Printf("  FAULT app=%d at=%dms: %s\n", f.App, f.AtMS, f.Reason)
+	}
+	fmt.Println(" ", buildCounters())
+}
+
+// runAppPowered runs the kernel form on harvested power: charge integrates at
+// fixed 50 ms boundaries against the same supercapacitor model amuletfleet
+// devices use, brownouts take a FRAM persistent cut and reboot through the
+// boot template once the supply recovers.
+func runAppPowered(name string, mode cc.Mode, ms uint64, spec string) {
+	app, ok := amuletiso.AppByName(name)
+	if !ok {
+		fail(fmt.Errorf("no bundled app %q", name))
+	}
+	profile, err := power.Parse(spec)
+	if err != nil {
+		fail(err)
+	}
+	sys, err := amuletiso.NewSystem([]amuletiso.App{app}, mode)
+	if err != nil {
+		fail(err)
+	}
+	tmpl := kernel.NewBootTemplate(sys.Firmware)
+	k := tmpl.NewKernel(0)
+
+	const stepMS = 50
+	trace := profile.Trace(0)
+	cap := power.DefaultSupercap()
+	charge := cap.CapacityPJ
+	var (
+		events, brownouts, reboots int
+		lastCycles                 uint64
+		cut                        *kernel.Checkpoint
+	)
+	for t := uint64(stepMS); t <= ms; t += stepMS {
+		harvest := trace.HarvestRangePJ(t-stepMS, t)
+		if k == nil { // dark: harvest-only until the restart threshold
+			charge = min(charge+harvest, cap.CapacityPJ)
+			if charge >= cap.RestartPJ {
+				k, err = tmpl.RebootFromCut(cut, t, nil)
+				if err != nil {
+					fail(err)
+				}
+				cut = nil
+				lastCycles = k.CPU.Cycles
+				reboots++
+				fmt.Printf("  reboot at %dms (charge %.1fmJ)\n", t, float64(charge)/1e9)
+			}
+			continue
+		}
+		events += k.RunUntil(t)
+		drain := (k.CPU.Cycles-lastCycles)*power.EnergyPerCyclePJ + stepMS*power.IdleDrainPJPerMS
+		lastCycles = k.CPU.Cycles
+		charge = min(charge+harvest, cap.CapacityPJ)
+		if charge > drain {
+			charge -= drain
+		} else {
+			charge = 0
+		}
+		if charge <= cap.BrownoutPJ {
+			cut = tmpl.PersistentCut(tmpl.Checkpoint(k), t)
+			k.Bus.ReleasePages()
+			k = nil
+			brownouts++
+			fmt.Printf("  brownout at %dms\n", t)
+		}
+	}
+
+	fmt.Printf("%s under %v on %s power: %d events in %d ms of wear\n",
+		app.Title, mode, profile.Kind, events, ms)
+	fmt.Printf("  brownouts=%d reboots=%d final-charge=%.1fmJ\n",
+		brownouts, reboots, float64(charge)/1e9)
+	var st kernel.AppCheckpoint
+	if k != nil {
+		live := tmpl.Checkpoint(k)
+		st = live.Apps[0]
+	} else {
+		st = cut.Apps[0]
+	}
+	fmt.Printf("  dispatches=%d syscalls=%d active-cycles=%d alive=%v\n",
+		st.Dispatches, st.Syscalls, st.Cycles, st.Alive)
+	for _, v := range st.LogValues {
+		fmt.Printf("  log tag=%d value=%d at %dms\n", v.Tag, v.Value, v.AtMS)
+	}
+	var faults []kernel.FaultRecord
+	if k != nil {
+		faults = k.Faults
+	} else {
+		faults = cut.Faults
+	}
+	for _, f := range faults {
+		fmt.Printf("  FAULT app=%d at=%dms [%v]: %s\n", f.App, f.AtMS, f.Class, f.Reason)
 	}
 	fmt.Println(" ", buildCounters())
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"amuletiso/internal/cpu"
+	"amuletiso/internal/fleet"
 	"amuletiso/internal/isa"
 	"amuletiso/internal/mem"
 	"amuletiso/internal/obs"
@@ -39,7 +40,7 @@ func main() {
 	n := flag.Int("n", 1000, "number of generated programs per campaign")
 	first := flag.Int("first", 0, "first case index (for sharding a campaign across machines)")
 	seed := flag.Uint64("seed", 1, "campaign seed (per-case seeds derive from it)")
-	kind := flag.String("kind", "differential", "campaign kind: differential, adversarial, hosted or all")
+	kind := flag.String("kind", "differential", "campaign kind: differential, adversarial, hosted, brownout or all")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	restrictedEvery := flag.Int("restricted-every", 0,
 		"every Nth case uses the restricted dialect (0 = kind default)")
@@ -63,6 +64,8 @@ func main() {
 		"disable observability (metrics and tracing); campaigns must report identical bytes either way")
 	noCOW := flag.Bool("nocow", false,
 		"disable copy-on-write device memory (flat-clone oracle); campaigns must report identical bytes either way")
+	noPower := flag.Bool("nopower", false,
+		"disable the fleet intermittent-power model; campaigns must report identical bytes either way")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	flag.Parse()
@@ -73,6 +76,7 @@ func main() {
 	isa.SetThreading(!*noThread)
 	isa.SetJIT(!*noJIT)
 	mem.SetCOW(!*noCOW)
+	fleet.SetPower(!*noPower)
 	if *noObs {
 		obs.SetMetrics(false)
 		obs.SetTracing(false)
@@ -110,7 +114,7 @@ func main() {
 
 	kinds := []string{*kind}
 	if *kind == "all" {
-		kinds = []string{torture.KindDifferential, torture.KindAdversarial, torture.KindHosted}
+		kinds = []string{torture.KindDifferential, torture.KindAdversarial, torture.KindHosted, torture.KindBrownout}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -25,6 +25,25 @@ func TestProfileDeterministic(t *testing.T) {
 	}
 }
 
+// TestExtrapolateWeeklyEdges pins the boundary behaviour the fleet's battery
+// projection relies on: an empty window projects to zero (never a division
+// by zero), and a week-long window is the identity.
+func TestExtrapolateWeeklyEdges(t *testing.T) {
+	if got := ExtrapolateWeekly(1e9, 0); got != 0 {
+		t.Fatalf("ExtrapolateWeekly(_, 0) = %g, want 0", got)
+	}
+	if got := ExtrapolateWeekly(0, 10_000); got != 0 {
+		t.Fatalf("ExtrapolateWeekly(0, _) = %g, want 0", got)
+	}
+	if got := ExtrapolateWeekly(12345.5, MSPerWeek); got != 12345.5 {
+		t.Fatalf("week-long window: ExtrapolateWeekly = %g, want identity", got)
+	}
+	// Half-week window doubles; the scale is linear in 1/sampleMS.
+	if got := ExtrapolateWeekly(100, MSPerWeek/2); got != 200 {
+		t.Fatalf("half-week window: ExtrapolateWeekly = %g, want 200", got)
+	}
+}
+
 func TestMeasureOverheadShape(t *testing.T) {
 	app, _ := apps.ByName("falldetection") // array-heavy, high event rate
 	window := uint64(30_000)

@@ -30,6 +30,9 @@ func TestBatteryImpactMatchesPaperScale(t *testing.T) {
 }
 
 func TestLifetimeReductionMonotone(t *testing.T) {
+	if LifetimeReductionHours(0) != 0 {
+		t.Fatal("zero overhead must cost zero lifetime")
+	}
 	prev := 0.0
 	for _, c := range []float64{0, 1e8, 1e9, 5e9, 2e10} {
 		h := LifetimeReductionHours(c)

@@ -30,6 +30,7 @@ import (
 	"amuletiso/internal/kernel"
 	"amuletiso/internal/mem"
 	"amuletiso/internal/obs"
+	"amuletiso/internal/power"
 )
 
 // ScheduledEvent is one entry of a scenario's event schedule, delivered to
@@ -85,6 +86,21 @@ type Scenario struct {
 	// the only way recorder data reaches a report: without it, results are
 	// byte-identical whether or not tracing is armed.
 	FaultTrace bool
+
+	// PowerTrace arms the intermittent-power model with a harvest trace spec
+	// (power.Parse grammar, e.g. "solar" or "kinetic:3"). Each device gets a
+	// seeded supercapacitor that harvest charges and execution drains;
+	// crossing the brownout threshold power-faults the device, which later
+	// reboots from its FRAM-persistent state. Empty = stable bench supply.
+	PowerTrace string
+	// BrownoutEveryMS forces a brownout at every interval boundary instead of
+	// modeling charge — the crash-consistency sweep knob. Mutually exclusive
+	// with PowerTrace.
+	BrownoutEveryMS uint64
+	// BrownoutOffMS is how long a forced brownout keeps the device dark
+	// before it reboots (default 500 ms). Only meaningful with
+	// BrownoutEveryMS.
+	BrownoutOffMS uint64
 }
 
 // validate rejects scenarios the runner cannot execute.
@@ -109,6 +125,17 @@ func (sc *Scenario) validate() error {
 			return fmt.Errorf("fleet: event %d targets app %d, out of range (%d apps)",
 				i, ev.App, len(sc.Apps))
 		}
+	}
+	if sc.PowerTrace != "" {
+		if _, err := power.Parse(sc.PowerTrace); err != nil {
+			return err
+		}
+		if sc.BrownoutEveryMS > 0 {
+			return fmt.Errorf("fleet: PowerTrace and BrownoutEveryMS are mutually exclusive")
+		}
+	}
+	if sc.BrownoutOffMS > 0 && sc.BrownoutEveryMS == 0 {
+		return fmt.Errorf("fleet: BrownoutOffMS needs BrownoutEveryMS")
 	}
 	return nil
 }
@@ -249,6 +276,7 @@ type deviceSim struct {
 	sc     *Scenario
 	tmpl   *kernel.BootTemplate
 	k      *kernel.Kernel
+	arena  *mem.PageArena
 	device int
 	seed   uint32
 
@@ -257,6 +285,11 @@ type deviceSim struct {
 	nextButton uint64
 	nextFault  uint64
 	buttonRNG  uint64
+
+	// power is the device's supercapacitor state; nil on a stable bench
+	// supply. While the device is dark after a brownout, k is nil and
+	// power.cut holds the FRAM state the reboot will restore.
+	power *powerState
 }
 
 // newDeviceSim boots a fresh device at the start of its wear window.
@@ -279,12 +312,16 @@ func newDeviceSim(sc *Scenario, tmpl *kernel.BootTemplate, arena *mem.PageArena,
 	for _, ev := range sc.Events {
 		k.PostPeriodic(ev.App, ev.Code, ev.Arg, ev.AtMS, ev.PeriodMS)
 	}
-	return &deviceSim{
-		sc: sc, tmpl: tmpl, k: k, device: device, seed: seed,
+	d := &deviceSim{
+		sc: sc, tmpl: tmpl, k: k, arena: arena, device: device, seed: seed,
 		nextButton: injectStart(sc.ButtonEveryMS),
 		nextFault:  injectStart(sc.FaultEveryMS),
 		buttonRNG:  uint64(seed),
 	}
+	if sc.powered() {
+		d.power = newPowerState(sc, seed)
+	}
+	return d
 }
 
 // advance walks the wear window to min(until, DurationMS). Extra stopping
@@ -309,29 +346,47 @@ func (d *deviceSim) advance(ctx context.Context, until uint64) error {
 		if d.nextFault < next {
 			next = d.nextFault
 		}
-		if batch {
-			for {
-				n, more := d.k.RunBatch(next, EventBatch)
-				d.events += n
-				if !more {
-					break
+		if d.power != nil && d.power.next < next {
+			next = d.power.next
+		}
+		// A dark device delivers nothing: injection and power cursors still
+		// advance through the outage, but the kernel is gone until reboot.
+		if d.k != nil {
+			if batch {
+				for {
+					n, more := d.k.RunBatch(next, EventBatch)
+					d.events += n
+					if !more {
+						break
+					}
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 				}
-				if err := ctx.Err(); err != nil {
-					return err
-				}
+			} else {
+				d.events += d.k.RunUntil(next)
 			}
-		} else {
-			d.events += d.k.RunUntil(next)
 		}
 		d.now = next
 		if d.now == d.nextButton {
+			// The press sequence advances whether or not the device is up —
+			// the user keeps pressing; a dark device just misses the press.
 			d.buttonRNG = splitmix64(d.buttonRNG)
-			d.k.InjectButton(uint16(d.buttonRNG%3) + 1)
+			if d.k != nil {
+				d.k.InjectButton(uint16(d.buttonRNG%3) + 1)
+			}
 			d.nextButton += d.sc.ButtonEveryMS
 		}
 		if d.now == d.nextFault {
-			d.k.InjectFault(d.sc.FaultApp, "fleet: injected fault")
+			if d.k != nil {
+				d.k.InjectFault(d.sc.FaultApp, "fleet: injected fault")
+			}
 			d.nextFault += d.sc.FaultEveryMS
+		}
+		if d.power != nil && d.now == d.power.next {
+			if err := d.powerStep(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -340,44 +395,87 @@ func (d *deviceSim) advance(ctx context.Context, until uint64) error {
 // finished reports whether the device has worn through its whole window.
 func (d *deviceSim) finished() bool { return d.now >= d.sc.DurationMS }
 
-// result assembles the DeviceResult of a finished device.
+// result assembles the DeviceResult of a finished device. A device that
+// wore out its window dark (browned out, never recovered) reports from its
+// FRAM-persistent cut instead of a live kernel.
 func (d *deviceSim) result() DeviceResult {
-	k := d.k
-	dispatches, syscalls, cycles := k.Totals()
-	res := DeviceResult{
-		Device:           d.device,
-		Seed:             d.seed,
-		Events:           d.events,
-		Dispatches:       dispatches,
-		Syscalls:         syscalls,
-		Cycles:           cycles,
-		Insns:            k.CPU.Insns,
-		OSCycles:         k.OSCycles,
-		Faults:           len(k.Faults),
-		Latency:          k.Latency,
-		WeeklyBatteryPct: batteryPct(cycles, d.sc.DurationMS),
-	}
-	for _, a := range k.Apps {
-		if a.Alive {
-			res.AppsAlive++
+	var res DeviceResult
+	if d.k != nil {
+		k := d.k
+		dispatches, syscalls, cycles := k.Totals()
+		res = DeviceResult{
+			Dispatches: dispatches,
+			Syscalls:   syscalls,
+			Cycles:     cycles,
+			Insns:      k.CPU.Insns,
+			OSCycles:   k.OSCycles,
+			Faults:     len(k.Faults),
+			Latency:    k.Latency,
+		}
+		for _, a := range k.Apps {
+			if a.Alive {
+				res.AppsAlive++
+			}
+		}
+		for _, f := range k.Faults {
+			res.FaultReasons = append(res.FaultReasons, f.Reason)
+			res.FaultClasses = append(res.FaultClasses, f.Class.String())
+		}
+		if d.sc.FaultTrace && len(k.Faults) > 0 {
+			res.FaultTrace = k.Recorder().Dump(faultTraceWindow)
+		}
+	} else {
+		// Dark at window end: the cut carries every FRAM-resident counter.
+		// No fault trace — the recorder ring died with the power.
+		ck := d.power.cut
+		var dispatches, syscalls, cycles uint64
+		for _, a := range ck.Apps {
+			dispatches += a.Dispatches
+			syscalls += a.Syscalls
+			cycles += a.Cycles
+		}
+		res = DeviceResult{
+			Dispatches: dispatches,
+			Syscalls:   syscalls,
+			Cycles:     cycles,
+			Insns:      ck.CPU.Insns,
+			OSCycles:   ck.OSCycles,
+			Faults:     len(ck.Faults),
+			Latency:    ck.Latency,
+		}
+		for _, a := range ck.Apps {
+			if a.Alive {
+				res.AppsAlive++
+			}
+		}
+		for _, f := range ck.Faults {
+			res.FaultReasons = append(res.FaultReasons, f.Reason)
+			res.FaultClasses = append(res.FaultClasses, f.Class.String())
 		}
 	}
-	for _, f := range k.Faults {
-		res.FaultReasons = append(res.FaultReasons, f.Reason)
-		res.FaultClasses = append(res.FaultClasses, f.Class.String())
-	}
-	if d.sc.FaultTrace && len(k.Faults) > 0 {
-		res.FaultTrace = k.Recorder().Dump(faultTraceWindow)
+	res.Device = d.device
+	res.Seed = d.seed
+	res.Events = d.events
+	res.WeeklyBatteryPct = batteryPct(res.Cycles, d.sc.DurationMS)
+	res.ProjectedLifetimeHours = projectedLifetimeHours(res.Cycles, d.sc.DurationMS)
+	if d.power != nil {
+		res.Brownouts = d.power.brownouts
+		res.FirstBrownoutMS = d.power.firstBrownoutMS
 	}
 	mDevicesCompleted.Inc()
-	mInstrSimulated.Add(k.CPU.Insns)
+	mInstrSimulated.Add(res.Insns)
 	mWearMS.Add(d.sc.DurationMS)
 	return res
 }
 
 // close hands the device's dirty COW pages back to the arena (no-op on a
-// flat oracle bus). Idempotent, so callers defer it unconditionally.
-func (d *deviceSim) close() { d.k.Bus.ReleasePages() }
+// flat oracle bus, or on a dark device whose brownout already released
+// them). Idempotent, so callers defer it unconditionally.
+func (d *deviceSim) close() {
+	if d.k != nil {
+		d.k.Bus.ReleasePages()
+	}
+}
 
 // faultTraceWindow is how many trailing flight-recorder events a faulting
 // device's DeviceResult carries when Scenario.FaultTrace is set.

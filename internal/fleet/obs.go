@@ -21,4 +21,14 @@ var (
 		"Boot templates captured.")
 	mTemplateHits = obs.Default.Counter(obs.MetricTemplateHits,
 		"Boot-template cache hits.")
+
+	mBrownouts = obs.Default.Counter(obs.MetricBrownouts,
+		"Brownout power-loss faults taken across all devices.")
+	mReboots = obs.Default.Counter(obs.MetricReboots,
+		"Post-brownout reboots completed across all devices.")
+	mChargePJ = obs.Default.Gauge(obs.MetricChargePJ,
+		"Supercapacitor charge of the most recently integrated device, picojoules.")
+	mFirstBrownout = obs.Default.Histogram(obs.MetricFirstBrownoutMS,
+		"Virtual milliseconds until each device's first brownout.",
+		[]uint64{1000, 5000, 10000, 20000, 30000, 45000, 60000, 120000, 300000})
 )

@@ -46,6 +46,16 @@ type DeviceResult struct {
 	// WeeklyBatteryPct projects this device's active-cycle load, extrapolated
 	// to a week of wear, onto the battery model's weekly energy budget.
 	WeeklyBatteryPct float64 `json:"weeklyBatteryPct"`
+	// ProjectedLifetimeHours is the battery model's expected lifetime under
+	// this device's load: the 14-day baseline minus
+	// energy.LifetimeReductionHours of the load extrapolated to a week.
+	ProjectedLifetimeHours float64 `json:"projectedLifetimeHours"`
+
+	// Brownouts counts power-loss faults the intermittent-power model dealt
+	// this device; FirstBrownoutMS is when the first one hit. Both zero on a
+	// stable bench supply.
+	Brownouts       int    `json:"brownouts,omitempty"`
+	FirstBrownoutMS uint64 `json:"firstBrownoutMS,omitempty"`
 }
 
 // Summary holds order statistics over one per-device metric.
@@ -112,6 +122,12 @@ type Report struct {
 	TotalFaults     int    `json:"totalFaults"`
 	DevicesFaulted  int    `json:"devicesFaulted"`
 
+	// TotalBrownouts / DevicesBrownedOut aggregate the intermittent-power
+	// model's power-loss faults; both stay zero (and omitted) on a stable
+	// supply, keeping -nopower reports byte-identical to power-less ones.
+	TotalBrownouts    int `json:"totalBrownouts,omitempty"`
+	DevicesBrownedOut int `json:"devicesBrownedOut,omitempty"`
+
 	// FaultReasons histograms fault records across the fleet. JSON encoding
 	// sorts map keys, keeping serialized reports deterministic.
 	FaultReasons map[string]int `json:"faultReasons,omitempty"`
@@ -120,6 +136,8 @@ type Report struct {
 
 	CycleSummary   Summary `json:"cycleSummary"`
 	BatterySummary Summary `json:"batterySummary"`
+	// LifetimeSummary summarizes per-device ProjectedLifetimeHours.
+	LifetimeSummary Summary `json:"lifetimeSummary"`
 
 	// Latency is the fleet-wide merge of every device's post→dispatch
 	// histogram; LatencySummary gives its cycle-domain percentiles (bucket
@@ -149,10 +167,12 @@ func (r *Report) finalize() {
 	r.Devices = len(r.PerDevice)
 	r.TotalEvents, r.TotalDispatches, r.TotalSyscalls = 0, 0, 0
 	r.TotalCycles, r.TotalInsns, r.TotalFaults, r.DevicesFaulted = 0, 0, 0, 0
+	r.TotalBrownouts, r.DevicesBrownedOut = 0, 0
 	r.FaultReasons = nil
 	r.FaultClasses = nil
 	cycles := make([]float64, 0, len(r.PerDevice))
 	battery := make([]float64, 0, len(r.PerDevice))
+	lifetime := make([]float64, 0, len(r.PerDevice))
 	for _, d := range r.PerDevice {
 		r.TotalEvents += d.Events
 		r.TotalDispatches += d.Dispatches
@@ -162,6 +182,10 @@ func (r *Report) finalize() {
 		r.TotalFaults += d.Faults
 		if d.Faults > 0 {
 			r.DevicesFaulted++
+		}
+		r.TotalBrownouts += d.Brownouts
+		if d.Brownouts > 0 {
+			r.DevicesBrownedOut++
 		}
 		for _, reason := range d.FaultReasons {
 			if r.FaultReasons == nil {
@@ -177,9 +201,11 @@ func (r *Report) finalize() {
 		}
 		cycles = append(cycles, float64(d.Cycles))
 		battery = append(battery, d.WeeklyBatteryPct)
+		lifetime = append(lifetime, d.ProjectedLifetimeHours)
 	}
 	r.CycleSummary = summarize(cycles)
 	r.BatterySummary = summarize(battery)
+	r.LifetimeSummary = summarize(lifetime)
 	r.Latency = obs.CycleHist{}
 	for i := range r.PerDevice {
 		r.Latency.Merge(&r.PerDevice[i].Latency)
@@ -221,4 +247,12 @@ func (r *Report) Merge(other *Report) error {
 // workloads rather than isolation overheads).
 func batteryPct(cycles uint64, durationMS uint64) float64 {
 	return energy.BatteryImpactPercent(arp.ExtrapolateWeekly(float64(cycles), durationMS))
+}
+
+// projectedLifetimeHours projects a device's load onto the battery model's
+// expected lifetime: the 14-day baseline minus the lifetime reduction of the
+// weekly-extrapolated cycle load.
+func projectedLifetimeHours(cycles uint64, durationMS uint64) float64 {
+	weekly := arp.ExtrapolateWeekly(float64(cycles), durationMS)
+	return float64(energy.BaselineLifetimeDays)*24 - energy.LifetimeReductionHours(weekly)
 }

@@ -25,13 +25,17 @@ import (
 // DeviceCheckpoint is one device parked mid-wear-window: the serialized
 // kernel plus the segment-loop cursors advance needs to continue it.
 type DeviceCheckpoint struct {
-	Device     int                `json:"device"`
-	Events     int                `json:"events"`
-	Now        uint64             `json:"now"`
-	NextButton uint64             `json:"nextButton"`
-	NextFault  uint64             `json:"nextFault"`
-	ButtonRNG  uint64             `json:"buttonRNG"`
-	Kernel     *kernel.Checkpoint `json:"kernel"`
+	Device     int    `json:"device"`
+	Events     int    `json:"events"`
+	Now        uint64 `json:"now"`
+	NextButton uint64 `json:"nextButton"`
+	NextFault  uint64 `json:"nextFault"`
+	ButtonRNG  uint64 `json:"buttonRNG"`
+	// Kernel is nil exactly when the device is parked dark after a brownout;
+	// Power.Cut then carries the FRAM state its reboot will restore.
+	Kernel *kernel.Checkpoint `json:"kernel,omitempty"`
+	// Power is the supercapacitor state; nil on a stable bench supply.
+	Power *PowerCheckpoint `json:"power,omitempty"`
 }
 
 // CampaignCheckpoint is a consistent cut of one scenario run: finished
@@ -46,6 +50,13 @@ type CampaignCheckpoint struct {
 	FirstDevice int    `json:"firstDevice,omitempty"`
 	Devices     int    `json:"devices"`
 
+	// Power-model identity: resuming under different power knobs would
+	// silently change device behavior, so the cut pins them. All omitempty,
+	// keeping pre-power cuts loadable.
+	PowerTrace      string `json:"powerTrace,omitempty"`
+	BrownoutEveryMS uint64 `json:"brownoutEveryMS,omitempty"`
+	BrownoutOffMS   uint64 `json:"brownoutOffMS,omitempty"`
+
 	Done     []DeviceResult     `json:"done,omitempty"`
 	InFlight []DeviceCheckpoint `json:"inFlight,omitempty"`
 }
@@ -54,7 +65,9 @@ type CampaignCheckpoint struct {
 func (ck *CampaignCheckpoint) matches(sc *Scenario) error {
 	if ck.Scenario != sc.Name || ck.Mode != sc.Mode.String() ||
 		ck.Seed != sc.Seed || ck.DurationMS != sc.DurationMS ||
-		ck.FirstDevice != sc.FirstDevice || ck.Devices != sc.Devices {
+		ck.FirstDevice != sc.FirstDevice || ck.Devices != sc.Devices ||
+		ck.PowerTrace != sc.PowerTrace || ck.BrownoutEveryMS != sc.BrownoutEveryMS ||
+		ck.BrownoutOffMS != sc.BrownoutOffMS {
 		return fmt.Errorf("fleet: checkpoint is for campaign %q/%s seed=%d dur=%d devices=[%d,%d), not this scenario",
 			ck.Scenario, ck.Mode, ck.Seed, ck.DurationMS, ck.FirstDevice, ck.FirstDevice+ck.Devices)
 	}
@@ -64,34 +77,50 @@ func (ck *CampaignCheckpoint) matches(sc *Scenario) error {
 // checkpoint serializes the device's current state. The device keeps running
 // afterwards — checkpointing only reads.
 func (d *deviceSim) checkpoint() *DeviceCheckpoint {
-	return &DeviceCheckpoint{
+	dc := &DeviceCheckpoint{
 		Device:     d.device,
 		Events:     d.events,
 		Now:        d.now,
 		NextButton: d.nextButton,
 		NextFault:  d.nextFault,
 		ButtonRNG:  d.buttonRNG,
-		Kernel:     d.tmpl.Checkpoint(d.k),
 	}
+	if d.k != nil {
+		dc.Kernel = d.tmpl.Checkpoint(d.k)
+	}
+	if d.power != nil {
+		dc.Power = d.power.checkpoint()
+	}
+	return dc
 }
 
 // resumeDeviceSim continues a parked device from its checkpoint.
 func resumeDeviceSim(sc *Scenario, tmpl *kernel.BootTemplate, arena *mem.PageArena, dc *DeviceCheckpoint) (*deviceSim, error) {
-	k, err := tmpl.Resume(dc.Kernel, arena)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: device %d: %w", dc.Device, err)
+	seed := DeviceSeed(sc.Seed, dc.Device)
+	var k *kernel.Kernel
+	if dc.Kernel != nil {
+		var err error
+		if k, err = tmpl.Resume(dc.Kernel, arena); err != nil {
+			return nil, fmt.Errorf("fleet: device %d: %w", dc.Device, err)
+		}
+	} else if dc.Power == nil || !dc.Power.Off || dc.Power.Cut == nil {
+		return nil, fmt.Errorf("fleet: device %d checkpoint has no kernel and is not parked dark", dc.Device)
 	}
 	mDevicesStarted.Inc()
-	return &deviceSim{
-		sc: sc, tmpl: tmpl, k: k,
+	d := &deviceSim{
+		sc: sc, tmpl: tmpl, k: k, arena: arena,
 		device:     dc.Device,
-		seed:       DeviceSeed(sc.Seed, dc.Device),
+		seed:       seed,
 		events:     dc.Events,
 		now:        dc.Now,
 		nextButton: dc.NextButton,
 		nextFault:  dc.NextFault,
 		buttonRNG:  dc.ButtonRNG,
-	}, nil
+	}
+	if dc.Power != nil && sc.powered() {
+		d.power = resumePowerState(sc, seed, dc.Power)
+	}
+	return d, nil
 }
 
 // ResumableOptions tunes RunResumable's snapshot behavior.
@@ -122,12 +151,15 @@ func (st *campaignState) cut() *CampaignCheckpoint {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ck := &CampaignCheckpoint{
-		Scenario:    st.sc.Name,
-		Mode:        st.sc.Mode.String(),
-		Seed:        st.sc.Seed,
-		DurationMS:  st.sc.DurationMS,
-		FirstDevice: st.sc.FirstDevice,
-		Devices:     st.sc.Devices,
+		Scenario:        st.sc.Name,
+		Mode:            st.sc.Mode.String(),
+		Seed:            st.sc.Seed,
+		DurationMS:      st.sc.DurationMS,
+		FirstDevice:     st.sc.FirstDevice,
+		Devices:         st.sc.Devices,
+		PowerTrace:      st.sc.PowerTrace,
+		BrownoutEveryMS: st.sc.BrownoutEveryMS,
+		BrownoutOffMS:   st.sc.BrownoutOffMS,
 	}
 	for _, res := range st.done {
 		ck.Done = append(ck.Done, res)

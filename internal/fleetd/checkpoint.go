@@ -20,7 +20,8 @@ import (
 // terminal jobs keep serving their reports, interrupted jobs re-queue and
 // continue from their last persisted cut.
 
-// jobProgress is the resumable position inside a running fleet job.
+// jobProgress is the resumable position inside a running fleet or torture
+// job.
 type jobProgress struct {
 	// ShardsDone counts fully merged shards; Merged is their merge (nil
 	// until the first completes).
@@ -28,6 +29,10 @@ type jobProgress struct {
 	Merged     *fleet.Report `json:"merged,omitempty"`
 	// Current is the interrupted shard's consistent cut, when one was taken.
 	Current *fleet.CampaignCheckpoint `json:"current,omitempty"`
+	// TortureMerged is the torture analogue of Merged: the union of every
+	// completed program-range shard. Torture cases have no mid-case cut, so
+	// an interrupted shard reruns from its First index on resume.
+	TortureMerged *torture.Report `json:"tortureMerged,omitempty"`
 }
 
 // jobFile is the on-disk form of one job.

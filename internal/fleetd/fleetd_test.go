@@ -354,6 +354,87 @@ func TestTortureJob(t *testing.T) {
 	}
 }
 
+// TestShardedTortureResumesByteIdentity extends the kill/resume contract to
+// the torture job family: a crash-consistency campaign cut into program
+// shards, interrupted mid-job and finished by a fresh daemon, must serve
+// exactly the bytes of a one-shot torture.Run of the whole campaign.
+func TestShardedTortureResumesByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{Type: TypeTorture, Kind: torture.KindBrownout, Programs: 16, Seed: 9, ShardPrograms: 2}
+
+	cfg, err := spec.tortureConfig(2) // newTestServer runners use 2 workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := torture.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(whole); err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := newTestServer(t, dir)
+	s1.Start()
+	id, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one shard merge, then pull the plug mid-campaign.
+	waitFor(t, "first torture shard merge", func() bool {
+		j, _ := s1.Job(id)
+		return j.view().Done >= 2
+	})
+	s1.Stop()
+
+	data, err := os.ReadFile(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f jobFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.State != StateQueued {
+		t.Fatalf("interrupted torture job persisted as %q, want queued", f.State)
+	}
+	if f.Progress == nil || f.Progress.TortureMerged == nil {
+		t.Fatal("interrupted torture job persisted no resumable shard union")
+	}
+	if f.Progress.TortureMerged.Programs >= spec.Programs {
+		t.Fatal("job finished before the daemon stopped; interruption not exercised")
+	}
+
+	s2 := newTestServer(t, dir)
+	if err := s2.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Stop()
+	waitFor(t, "resumed torture job completion", func() bool {
+		j, ok := s2.Job(id)
+		return ok && j.view().State == StateDone
+	})
+
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("killed+resumed torture campaign differs from one-shot run")
+	}
+}
+
 // TestSubmitValidation rejects malformed specs at the door, and the report
 // endpoint refuses jobs that are not done.
 func TestSubmitValidation(t *testing.T) {

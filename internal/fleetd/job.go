@@ -57,6 +57,11 @@ type JobSpec struct {
 	BackoffMS      *uint64  `json:"backoffMS,omitempty"` // (1000)
 	WatchdogBudget uint64   `json:"watchdogBudget,omitempty"`
 	FaultTrace     bool     `json:"faultTrace,omitempty"`
+	// Intermittent power: a harvest trace spec ("solar", "kinetic:2.5", ...)
+	// or a forced brownout period, exactly as the amuletfleet flags.
+	PowerTrace      string `json:"powerTrace,omitempty"`
+	BrownoutEveryMS uint64 `json:"brownoutEveryMS,omitempty"`
+	BrownoutOffMS   uint64 `json:"brownoutOffMS,omitempty"`
 	// ShardDevices overrides the server's scheduling shard size for this job
 	// (devices per sequentially-scheduled, checkpointable shard).
 	ShardDevices int `json:"shardDevices,omitempty"`
@@ -67,6 +72,9 @@ type JobSpec struct {
 	First           int    `json:"first,omitempty"`
 	RestrictedEvery *int   `json:"restrictedEvery,omitempty"` // (kind default)
 	Shrink          *bool  `json:"shrink,omitempty"`          // (true)
+	// ShardPrograms overrides the server's torture shard size for this job
+	// (programs per sequentially-scheduled, mergeable shard).
+	ShardPrograms int `json:"shardPrograms,omitempty"`
 }
 
 // kind normalizes the job type.
@@ -132,19 +140,22 @@ func (s *JobSpec) scenario() (fleet.Scenario, error) {
 		backoff = *s.BackoffMS
 	}
 	return fleet.Scenario{
-		Name:           name,
-		Apps:           list,
-		Mode:           mode,
-		DurationMS:     duration,
-		Devices:        devices,
-		FirstDevice:    s.FirstDevice,
-		Seed:           seed,
-		ButtonEveryMS:  s.ButtonEveryMS,
-		FaultEveryMS:   s.FaultEveryMS,
-		FaultApp:       s.FaultApp,
-		WatchdogBudget: s.WatchdogBudget,
-		FaultTrace:     s.FaultTrace,
-		Policy:         &kernel.RestartPolicy{MaxFaults: maxFaults, BackoffMS: backoff},
+		Name:            name,
+		Apps:            list,
+		Mode:            mode,
+		DurationMS:      duration,
+		Devices:         devices,
+		FirstDevice:     s.FirstDevice,
+		Seed:            seed,
+		ButtonEveryMS:   s.ButtonEveryMS,
+		FaultEveryMS:    s.FaultEveryMS,
+		FaultApp:        s.FaultApp,
+		WatchdogBudget:  s.WatchdogBudget,
+		FaultTrace:      s.FaultTrace,
+		PowerTrace:      s.PowerTrace,
+		BrownoutEveryMS: s.BrownoutEveryMS,
+		BrownoutOffMS:   s.BrownoutOffMS,
+		Policy:          &kernel.RestartPolicy{MaxFaults: maxFaults, BackoffMS: backoff},
 	}, nil
 }
 
@@ -184,7 +195,7 @@ func (s *JobSpec) validate() error {
 			return err
 		}
 		switch cfg.Kind {
-		case torture.KindDifferential, torture.KindAdversarial, torture.KindHosted:
+		case torture.KindDifferential, torture.KindAdversarial, torture.KindHosted, torture.KindBrownout:
 			return nil
 		default:
 			return fmt.Errorf("fleetd: unknown torture kind %q", cfg.Kind)

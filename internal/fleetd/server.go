@@ -43,6 +43,10 @@ type Server struct {
 	// cut into shards of this many devices, run sequentially, merged and
 	// persisted as each completes. <= 0 runs each fleet as a single shard.
 	ShardDevices int
+	// ShardPrograms is the torture analogue of ShardDevices: programs per
+	// sequentially-scheduled, mergeable campaign shard. <= 0 runs each
+	// campaign as a single shard.
+	ShardPrograms int
 	// SegmentMS is the virtual-time interval between in-shard device
 	// snapshot refreshes (0 = 1000).
 	SegmentMS uint64
@@ -394,9 +398,11 @@ func (s *Server) setProgress(j *Job, p *jobProgress) {
 	j.mu.Unlock()
 }
 
-// runTortureJob executes a torture campaign as a single unit: torture
-// reports are not mergeable, so an interrupted campaign reruns from scratch
-// on resume (determinism makes that byte-identical, just not work-saving).
+// runTortureJob walks the job's campaign shard by shard — contiguous program
+// ranges, exactly as runFleetJob walks device ranges — merging and persisting
+// after each, so a killed daemon resumes at the first incomplete shard and
+// the final merge is byte-identical to a one-shot run of the whole campaign.
+// Torture cases have no mid-case cut, so an interrupted shard reruns whole.
 func (s *Server) runTortureJob(ctx context.Context, j *Job) error {
 	workers := 0
 	if s.Runner != nil {
@@ -406,17 +412,53 @@ func (s *Server) runTortureJob(ctx context.Context, j *Job) error {
 	if err != nil {
 		return err
 	}
-	j.mu.Lock()
-	j.total = cfg.Programs
-	j.mu.Unlock()
-	rep, err := torture.Run(ctx, cfg)
-	if err != nil {
-		return err
+	shard := j.Spec.ShardPrograms
+	if shard <= 0 {
+		shard = s.ShardPrograms
 	}
+	if shard <= 0 || shard > cfg.Programs {
+		shard = cfg.Programs
+	}
+
+	var merged *torture.Report
+	start := 0
 	j.mu.Lock()
-	j.torture = rep
-	j.done = cfg.Programs
+	if j.resume != nil {
+		merged, start = j.resume.TortureMerged, j.resume.ShardsDone
+	}
+	j.total = cfg.Programs
+	if merged != nil {
+		j.torture = merged
+		j.done = merged.Programs
+	}
 	j.mu.Unlock()
+
+	nshards := (cfg.Programs + shard - 1) / shard
+	for k := start; k < nshards; k++ {
+		sub := cfg
+		sub.First = cfg.First + k*shard
+		sub.Programs = shard
+		if rest := cfg.First + cfg.Programs - sub.First; rest < shard {
+			sub.Programs = rest
+		}
+		rep, err := torture.Run(ctx, sub)
+		if err != nil {
+			return err
+		}
+		if merged == nil {
+			merged = rep
+		} else if err := merged.Merge(rep); err != nil {
+			return err
+		}
+		mShardsMerged.Inc()
+		j.mu.Lock()
+		j.torture = merged
+		j.done = merged.Programs
+		j.mu.Unlock()
+		s.setProgress(j, &jobProgress{ShardsDone: k + 1, TortureMerged: merged})
+		s.persist(j, s.progressOf(j))
+		s.emit(j)
+	}
 	return nil
 }
 

@@ -112,6 +112,7 @@ const (
 	FaultCPU                        // decode/execution fault (no protection involved)
 	FaultWatchdog                   // event handler exceeded its cycle budget
 	FaultInjected                   // synthetic fault from InjectFault
+	FaultBrownout                   // power loss: supply fell below the brownout threshold
 )
 
 // String names the fault class.
@@ -129,6 +130,8 @@ func (c FaultClass) String() string {
 		return "watchdog"
 	case FaultInjected:
 		return "injected"
+	case FaultBrownout:
+		return "brownout"
 	}
 	return "other"
 }

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"amuletiso/internal/abi"
+	"amuletiso/internal/cpu"
+	"amuletiso/internal/mem"
+	"amuletiso/internal/mpu"
+)
+
+// This file models what power loss does to a checkpointed device. On the
+// MSP430FR5969 the register file, SRAM, peripheral registers (MPU plan,
+// timers, the MPY32 unit), and anything in flight are gone the instant the
+// supply dips below the brownout threshold; information FRAM, main FRAM, and
+// the vector table are ferroelectric and retain their last committed write.
+// PersistentCut projects a Checkpoint onto exactly that surviving surface,
+// and RebootImage extends a cut into the checkpoint of the device as it looks
+// the moment the OS boot path finishes re-initializing volatile state — so a
+// brownout/reboot is two pure, inspectable transforms on plain data, and the
+// crash-consistency oracle can byte-compare either stage against a live
+// rebooted kernel.
+//
+// Both transforms are pure functions: they never touch metrics or the live
+// simulation. RebootFromCut is the effectful composition fleets use.
+
+// brownoutReason is the fault-log entry text for a power-loss fault.
+const brownoutReason = "brownout: supply fell below threshold"
+
+// bootRNG derives the amulet_rand LCG's boot position from the device seed,
+// exactly as bootKernel does — the LCG state lives in SRAM and is re-seeded
+// by the OS on every boot.
+func bootRNG(seed uint32) uint32 {
+	if seed == 0 {
+		return 0x1234
+	}
+	rng := seed*2654435761 + 0x9E3779B9
+	if rng == 0 {
+		rng = 0x1234
+	}
+	return rng
+}
+
+// PersistentCut returns the FRAM-resident remainder of a checkpoint after
+// power is lost at brownoutMS: volatile state (CPU registers, pending IRQs,
+// SRAM pages, peripheral/MPU registers, the event queue, sensor
+// subscriptions, the display) is dropped, while FRAM state (persistent
+// memory pages, per-app accounting and logs, the fault log, the latency
+// histogram, the OS cycle counters) survives. A brownout FaultRecord with
+// App -1 is appended to the fault log. The input is not mutated.
+//
+// Apps that had exhausted the restart policy stay dead across the reboot;
+// everything else comes back — the OS re-inits any app whose fault count is
+// still within policy.
+func (t *BootTemplate) PersistentCut(ck *Checkpoint, brownoutMS uint64) *Checkpoint {
+	cut := &Checkpoint{
+		Seed:           ck.Seed,
+		NowMS:          brownoutMS,
+		Policy:         ck.Policy,
+		WatchdogBudget: ck.WatchdogBudget,
+		Seq:            ck.Seq,
+		OSCycles:       ck.OSCycles,
+		Latency:        ck.Latency,
+		CPU: cpu.State{
+			// Cycle and instruction odometers are OS-maintained FRAM
+			// counters; everything else in the CPU is volatile.
+			Cycles: ck.CPU.Cycles,
+			Insns:  ck.CPU.Insns,
+		},
+		// The MPU comes back in reset state: the capability is a hardware
+		// trait and survives, the plan registers and latched flags do not.
+		MPU: mpu.State{Cap: ck.MPU.Cap, SAM: 0x7777},
+	}
+	// Self-modified text survives only where the write landed in FRAM.
+	for _, a := range ck.CPU.DirtyCode {
+		if mem.PagePersistent(int(a) / mem.PageSize) {
+			cut.CPU.DirtyCode = append(cut.CPU.DirtyCode, a)
+		}
+	}
+	for _, p := range ck.Pages {
+		if !mem.PagePersistent(p.Page) {
+			continue
+		}
+		cut.Pages = append(cut.Pages, PagePatch{
+			Page: p.Page,
+			Data: append([]byte(nil), p.Data...),
+		})
+	}
+	cut.Apps = make([]AppCheckpoint, len(ck.Apps))
+	for i, ac := range ck.Apps {
+		na := AppCheckpoint{
+			Alive:      ac.Faults <= ck.Policy.MaxFaults,
+			Faults:     ac.Faults,
+			Dispatches: ac.Dispatches,
+			Syscalls:   ac.Syscalls,
+			Cycles:     ac.Cycles,
+		}
+		na.Log = append(na.Log, ac.Log...)
+		na.LogValues = append(na.LogValues, ac.LogValues...)
+		cut.Apps[i] = na
+	}
+	cut.Faults = append(cut.Faults, ck.Faults...)
+	cut.Faults = append(cut.Faults, FaultRecord{
+		App: -1, AtMS: brownoutMS, Reason: brownoutReason, Class: FaultBrownout,
+	})
+	return cut
+}
+
+// RebootImage extends a persistent cut into the checkpoint of the device as
+// the OS boot path leaves it at restartMS: the boot RNG is re-seeded, the
+// time base is re-anchored at the surviving cycle odometer, and an EvInit is
+// queued for every app the restart policy still allows — dead apps stay
+// dead. The result is directly Resumable, and re-checkpointing the resumed
+// kernel yields these bytes back. The input is not mutated.
+func (t *BootTemplate) RebootImage(cut *Checkpoint, restartMS uint64) *Checkpoint {
+	img := t.PersistentCut(cut, cut.NowMS) // idempotent projection: deep-copies, keeps the fault log as-is
+	// PersistentCut appended a second brownout record to its copy; drop it —
+	// cut already carries the brownout fault.
+	img.Faults = img.Faults[:len(img.Faults)-1]
+
+	img.NowMS = restartMS
+	img.RNG = bootRNG(cut.Seed)
+	img.NowCycles = cut.CPU.Cycles
+	img.DispatchC0 = cut.CPU.Cycles
+	// Allocated even when every app is dead, matching Checkpoint's
+	// always-non-nil queue representation so the two stay byte-comparable.
+	img.Queue = make([]EventCheckpoint, 0, len(img.Apps))
+	for i := range img.Apps {
+		if !img.Apps[i].Alive {
+			continue
+		}
+		img.Queue = append(img.Queue, EventCheckpoint{
+			Due: restartMS, App: i, Code: abi.EvInit,
+			Seq: img.Seq, PostCycles: cut.CPU.Cycles,
+		})
+		img.Seq++
+	}
+	return img
+}
+
+// RebootFromCut boots a live kernel from a persistent cut at restartMS — the
+// effectful composition Resume(RebootImage(cut, restartMS)). COW pages
+// recycle through arena when one is supplied, as in NewKernelArena.
+func (t *BootTemplate) RebootFromCut(cut *Checkpoint, restartMS uint64, arena *mem.PageArena) (*Kernel, error) {
+	return t.Resume(t.RebootImage(cut, restartMS), arena)
+}

@@ -891,6 +891,24 @@ func (b *Bus) Stats() (reads, writes, fetches uint64) {
 	return b.reads, b.writes, b.fetches
 }
 
+// PagePersistent reports whether a bus page holds state that survives power
+// loss on the modeled MSP430FR5969: information FRAM, main FRAM, and the
+// vector table are ferroelectric and retain their contents through a
+// brownout; SRAM, peripheral registers, and the BSL/reserved windows do not.
+// A page is persistent only if every address in it is FRAM-backed — pages
+// straddling a volatile region are conservatively treated as volatile.
+func PagePersistent(page int) bool {
+	if page < 0 || page >= (1<<16)/PageSize {
+		return false
+	}
+	lo := uint16(page * PageSize)
+	hi := lo + PageSize - 1
+	if InRegion(lo, InfoLo, InfoHi) && InRegion(hi, InfoLo, InfoHi) {
+		return true
+	}
+	return lo >= FRAMLo // main FRAM runs from FRAMLo through the vectors at 0xFFFF
+}
+
 // RegionName names the architectural region containing addr.
 func RegionName(addr uint16) string {
 	switch {

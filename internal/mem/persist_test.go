@@ -1,0 +1,36 @@
+package mem
+
+import "testing"
+
+// TestPagePersistent pins the volatile-vs-persistent page classification to
+// the MSP430FR5969 memory map: information FRAM and main FRAM (through the
+// vector table) survive power loss; peripherals, BSL and SRAM do not.
+func TestPagePersistent(t *testing.T) {
+	cases := []struct {
+		addr uint16
+		want bool
+		name string
+	}{
+		{0x0000, false, "peripherals"},
+		{0x0F00, false, "peripherals-high"},
+		{0x1000, false, "BSL"},
+		{InfoLo, true, "info-FRAM-lo"},
+		{InfoHi, true, "info-FRAM-hi"},
+		{SRAMLo, false, "SRAM-lo"},
+		{SRAMHi, false, "SRAM-hi"},
+		{FRAMLo, true, "main-FRAM-lo"},
+		{0x8000, true, "main-FRAM-mid"},
+		{FRAMHi, true, "main-FRAM-hi"},
+		{VectLo, true, "vectors"},
+		{0xFFFF, true, "vectors-top"},
+	}
+	for _, c := range cases {
+		if got := PagePersistent(int(c.addr) / PageSize); got != c.want {
+			t.Errorf("%s: PagePersistent(page of 0x%04X) = %v, want %v", c.name, c.addr, got, c.want)
+		}
+	}
+	// The boundary page straddling SRAM's end must not claim persistence.
+	if PagePersistent(-1) || PagePersistent(1<<16/PageSize) {
+		t.Error("out-of-range pages classified persistent")
+	}
+}

@@ -93,4 +93,9 @@ const (
 	MetricPagesDirtied  = "amulet_mem_cow_pages_dirtied_total"
 	MetricPagesRecycled = "amulet_mem_cow_pages_recycled_total"
 	MetricTortureCase   = "amulet_torture_cases_total"
+
+	MetricBrownouts       = "amulet_power_brownouts_total"
+	MetricReboots         = "amulet_power_reboots_total"
+	MetricChargePJ        = "amulet_power_charge_picojoules"
+	MetricFirstBrownoutMS = "amulet_power_first_brownout_ms"
 )

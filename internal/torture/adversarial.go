@@ -21,6 +21,7 @@ const (
 	LayerGate     Layer = "kernel-gate"    // gate pointer-argument validation
 	LayerWatchdog Layer = "watchdog"       // kernel cycle-budget kill
 	LayerCPU      Layer = "cpu"            // decode/execute fault (no protection credit)
+	LayerPower    Layer = "power-brownout" // power loss: supply fell below the brownout threshold
 	LayerNone     Layer = "none"           // access went through unchecked
 	// LayerVacuous marks a mode where the attack's effective address landed
 	// inside the app's own region — not a violation, so nothing to assert.

@@ -95,7 +95,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("torture: negative first index %d", cfg.First)
 	}
 	switch cfg.Kind {
-	case KindDifferential, KindAdversarial, KindHosted:
+	case KindDifferential, KindAdversarial, KindHosted, KindBrownout:
 	default:
 		return nil, fmt.Errorf("torture: unknown campaign kind %q", cfg.Kind)
 	}
@@ -106,7 +106,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return err
 		}
 		gi := cfg.First + i
-		restricted := cfg.Kind != KindHosted &&
+		restricted := cfg.Kind != KindHosted && cfg.Kind != KindBrownout &&
 			cfg.RestrictedEvery > 0 && gi%cfg.RestrictedEvery == 0
 		c, p := buildCaseProg(cfg.Kind, caseSeed(cfg.Seed, gi), restricted)
 		out := Execute(c)
@@ -189,6 +189,66 @@ func (r *Report) fold(out *Outcome) {
 				r.TrappedByLayer[m+"/"+string(observed)]++
 			}
 		}
+	}
+}
+
+// Merge folds an adjacent shard of the same campaign into r, giving torture
+// reports the same shard-union treatment fleet reports have: a campaign
+// split into program ranges — run anywhere, in any order, interrupted and
+// resumed — merges into exactly the union run's report, byte for byte. The
+// shards must agree on campaign identity (kind, seed) and their program
+// ranges must tile one contiguous range.
+func (r *Report) Merge(other *Report) error {
+	if r.Kind != other.Kind || r.Seed != other.Seed {
+		return fmt.Errorf("torture: cannot merge reports of different campaigns (%s/%d vs %s/%d)",
+			r.Kind, r.Seed, other.Kind, other.Seed)
+	}
+	switch {
+	case r.First+r.Programs == other.First:
+	case other.First+other.Programs == r.First:
+		r.First = other.First
+	default:
+		return fmt.Errorf("torture: cannot merge non-adjacent shards [%d,%d) and [%d,%d)",
+			r.First, r.First+r.Programs, other.First, other.First+other.Programs)
+	}
+	r.Programs += other.Programs
+	r.Passed += other.Passed
+	r.Failed += other.Failed
+	addCounts(&r.ModeCycles, other.ModeCycles)
+	addCounts(&r.BaselineCycles, other.BaselineCycles)
+	r.Injected += other.Injected
+	r.Trapped += other.Trapped
+	addCounts(&r.TrappedByLayer, other.TrappedByLayer)
+	r.ExpectedEscapes += other.ExpectedEscapes
+	r.Vacuous += other.Vacuous
+	r.Failures = append(r.Failures, other.Failures...)
+	sort.Slice(r.Failures, func(i, j int) bool { return r.Failures[i].Index < r.Failures[j].Index })
+	// Overheads are ratios of the merged totals, recomputed exactly as Run
+	// computes them for a one-shot campaign.
+	r.OverheadPct = nil
+	if r.ModeCycles != nil {
+		r.OverheadPct = make(map[string]float64)
+		for mode, baseTotal := range r.BaselineCycles {
+			if baseTotal > 0 {
+				r.OverheadPct[mode] = 100 *
+					(float64(r.ModeCycles[mode]) - float64(baseTotal)) / float64(baseTotal)
+			}
+		}
+	}
+	return nil
+}
+
+// addCounts folds src's counters into *dst, allocating it on first use so a
+// merge of two count-free shards stays count-free.
+func addCounts[V int | uint64](dst *map[string]V, src map[string]V) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(map[string]V, len(src))
+	}
+	for k, v := range src {
+		(*dst)[k] += v
 	}
 }
 

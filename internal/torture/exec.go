@@ -37,6 +37,7 @@ const (
 	KindDifferential = "differential"
 	KindAdversarial  = "adversarial"
 	KindHosted       = "hosted"
+	KindBrownout     = "brownout"
 )
 
 // Outcome is the result of executing one case.
@@ -81,6 +82,8 @@ func Execute(c *Case) *Outcome {
 		executeAdversarial(c, out)
 	case KindHosted:
 		executeHosted(c, out)
+	case KindBrownout:
+		executeBrownout(c, out)
 	default:
 		out.fail("bad-kind", fmt.Sprintf("unknown case kind %q", c.Kind))
 	}

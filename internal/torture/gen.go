@@ -98,7 +98,7 @@ func buildCaseProg(kind string, seed uint64, restricted bool) (*Case, *program) 
 			p = generate(s, restricted, false)
 		case KindAdversarial:
 			p = generateAdversarial(s, restricted, false)
-		case KindHosted:
+		case KindHosted, KindBrownout:
 			p = generateAdversarial(s, false, true)
 		default:
 			return &Case{Kind: kind, Seed: seed}, nil
@@ -120,7 +120,7 @@ func buildCaseProg(kind string, seed uint64, restricted bool) (*Case, *program) 
 // probeCompile type-checks and code-generates a candidate in its cheapest
 // applicable mode.
 func probeCompile(c *Case) error {
-	if c.Kind == KindHosted {
+	if c.Kind == KindHosted || c.Kind == KindBrownout {
 		_, err := aft.Build([]aft.AppSource{{Name: hostedAppName, Source: c.Source}}, cc.ModeNoIsolation)
 		return err
 	}

@@ -34,6 +34,8 @@ func layerOfFaultClass(c kernel.FaultClass) Layer {
 		return LayerWatchdog
 	case kernel.FaultCPU:
 		return LayerCPU
+	case kernel.FaultBrownout:
+		return LayerPower
 	}
 	return LayerNone
 }

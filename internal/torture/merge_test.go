@@ -1,0 +1,108 @@
+package torture
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func repJSON(t *testing.T, r *Report) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runShard(t *testing.T, kind string, first, programs, workers int) *Report {
+	t.Helper()
+	cfg := DefaultConfig(kind)
+	cfg.Programs = programs
+	cfg.First = first
+	cfg.Workers = workers
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("%s [%d,%d): %v", kind, first, first+programs, err)
+	}
+	return rep
+}
+
+// TestMergeShardUnionByteIdentity is the satellite contract: a campaign cut
+// into adjacent program-range shards — run at different worker counts,
+// merged in either order — must serialize byte-identically to the one-shot
+// run. Checked for each campaign family, since they populate disjoint
+// aggregate fields.
+func TestMergeShardUnionByteIdentity(t *testing.T) {
+	for _, kind := range []string{KindDifferential, KindAdversarial, KindHosted, KindBrownout} {
+		n := 24
+		if kind == KindHosted || kind == KindBrownout {
+			n = 8 // kernel-hosted cases cost more per program
+		}
+		whole := runShard(t, kind, 0, n, 2)
+		want := repJSON(t, whole)
+
+		cutAt := n / 3
+		lo := runShard(t, kind, 0, cutAt, 1)
+		hi := runShard(t, kind, cutAt, n-cutAt, 4)
+
+		if err := lo.Merge(hi); err != nil {
+			t.Fatalf("%s: forward merge: %v", kind, err)
+		}
+		if got := repJSON(t, lo); !bytes.Equal(got, want) {
+			t.Fatalf("%s: forward merge differs from one-shot run:\nwant %s\ngot  %s", kind, want, got)
+		}
+
+		lo2 := runShard(t, kind, 0, cutAt, 3)
+		hi2 := runShard(t, kind, cutAt, n-cutAt, 2)
+		if err := hi2.Merge(lo2); err != nil {
+			t.Fatalf("%s: reverse merge: %v", kind, err)
+		}
+		if got := repJSON(t, hi2); !bytes.Equal(got, want) {
+			t.Fatalf("%s: reverse merge differs from one-shot run", kind)
+		}
+	}
+}
+
+// TestMergeRejectsForeignShards covers the identity and adjacency
+// validation.
+func TestMergeRejectsForeignShards(t *testing.T) {
+	a := runShard(t, KindDifferential, 0, 4, 1)
+	for name, other := range map[string]*Report{
+		"kind":     {Kind: KindAdversarial, Seed: a.Seed, First: 4, Programs: 4},
+		"seed":     {Kind: a.Kind, Seed: a.Seed + 1, First: 4, Programs: 4},
+		"gap":      {Kind: a.Kind, Seed: a.Seed, First: 5, Programs: 4},
+		"overlap":  {Kind: a.Kind, Seed: a.Seed, First: 3, Programs: 4},
+		"enclosed": {Kind: a.Kind, Seed: a.Seed, First: 1, Programs: 2},
+	} {
+		cp := *a
+		if err := cp.Merge(other); err == nil {
+			t.Errorf("%s-mismatched shard merged", name)
+		}
+	}
+}
+
+// TestBrownoutCampaignGreen: the crash-consistency battery must pass clean —
+// every brownout trapped, attributed to the power layer, and the rebooted
+// kernel byte-identical to the persistent state machine's prediction.
+func TestBrownoutCampaignGreen(t *testing.T) {
+	cfg := DefaultConfig(KindBrownout)
+	cfg.Programs = 10
+	cfg.Workers = 4
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("crash-consistency battery failed:\n%s", rep.Summary())
+	}
+	if rep.Injected == 0 || rep.Trapped != rep.Injected {
+		t.Fatalf("brownouts injected=%d trapped=%d, want all trapped", rep.Injected, rep.Trapped)
+	}
+	for layer := range rep.TrappedByLayer {
+		if layer != "MPU/"+string(LayerPower) && layer != "SoftwareOnly/"+string(LayerPower) {
+			t.Fatalf("brownout attributed to %s, want %s", layer, LayerPower)
+		}
+	}
+}
